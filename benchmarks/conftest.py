@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one thesis table/figure group, times a
+representative simulation with pytest-benchmark, asserts the published
+*shape*, and writes the rendered artifact to ``results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).parent.parent
+_SRC = str(_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.runner import ExperimentRunner  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One memoizing runner for the whole benchmark session."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    out = _ROOT / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,36 @@
+"""Figure 5 — the published MET vs APT schedule example.
+
+The one experiment whose absolute numbers are fully published: MET must
+end at 318.093 ms and APT(α=8) at 212.093 ms on the Table 7 workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.simulator import Simulator
+from repro.core.system import CPU_GPU_FPGA
+from repro.data.paper_tables import FIGURE5_KERNELS, figure5_lookup_table
+from repro.experiments.figures import figure5_schedule_example
+from repro.graphs.dfg import DFG
+from repro.policies.apt import APT
+
+
+def test_bench_figure5_schedule_example(benchmark, results_dir):
+    system = CPU_GPU_FPGA()
+    sim = Simulator(system, figure5_lookup_table(), transfers_enabled=False)
+    dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+
+    benchmark(lambda: sim.run(dfg, APT(alpha=8.0)))
+
+    ex = figure5_schedule_example()
+    assert ex.met_end_time == pytest.approx(318.093)
+    assert ex.apt_end_time == pytest.approx(212.093)
+    benchmark.extra_info["met_end_ms"] = ex.met_end_time
+    benchmark.extra_info["apt_end_ms"] = ex.apt_end_time
+
+    artifact = (
+        "Figure 5 — MET and APT schedule example (paper: 318.093 / 212.093 ms)\n\n"
+        f"MET schedule\n{ex.met_trace}\nEnd time: {ex.met_end_time:.3f}\n\n"
+        f"APT schedule (α = 8)\n{ex.apt_trace}\nEnd Time: {ex.apt_end_time:.3f}"
+    )
+    write_artifact(results_dir, "figure5.txt", artifact)

@@ -1,0 +1,32 @@
+"""Kernel microbenchmarks — the calibration measurements, benchmarked.
+
+Times each of the seven real kernel implementations at a laptop-friendly
+data size.  These are the numbers :mod:`repro.kernels.calibration` feeds
+into fresh lookup tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import kernel_registry
+
+#: (kernel, data size) pairs sized to run in milliseconds, not minutes.
+BENCH_SIZES = {
+    "matmul": 300 * 300,
+    "matinv": 300 * 300,
+    "cholesky": 300 * 300,
+    "nw": 300 * 300,
+    "bfs": 50_000,
+    "srad": 256 * 256,
+    "gem": 250_000,
+}
+
+
+@pytest.mark.parametrize("kernel_name", sorted(BENCH_SIZES))
+def test_bench_kernel(benchmark, kernel_name):
+    kernel = kernel_registry.get(kernel_name)
+    rng = np.random.default_rng(0)
+    inputs = kernel.prepare(BENCH_SIZES[kernel_name], rng)
+
+    output = benchmark(lambda: kernel.run(**inputs))
+    assert kernel.verify(output, **inputs)

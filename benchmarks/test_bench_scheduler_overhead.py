@@ -1,0 +1,44 @@
+"""Scheduler-overhead microbenchmarks.
+
+The thesis motivates APT partly on scheduling cost: "for applications with
+high degree of parallelism and very deep DFG, the ranking step [of static
+policies] can be very time consuming" (§2.5.3).  These benches measure the
+actual decision cost of each policy on the largest evaluation graph
+(157 kernels) so the claim is quantified, not asserted.
+"""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.experiments.workloads import paper_type2_suite
+from repro.policies.registry import PAPER_POLICIES, get_policy
+
+
+@pytest.fixture(scope="module")
+def biggest_graph():
+    return max(paper_type2_suite(), key=len)
+
+
+@pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+def test_bench_policy_end_to_end(benchmark, runner, biggest_graph, policy_name):
+    sim = Simulator(runner.system_for(4.0), runner.lookup)
+    policy_kwargs = {"alpha": 4.0} if policy_name == "apt" else {}
+
+    def run():
+        return sim.run(biggest_graph, get_policy(policy_name, **policy_kwargs))
+
+    result = benchmark(run)
+    assert len(result.schedule) == len(biggest_graph)
+    benchmark.extra_info["makespan_ms"] = result.makespan
+
+
+@pytest.mark.parametrize("policy_name", ["heft", "peft"])
+def test_bench_static_planning_phase_alone(benchmark, runner, biggest_graph, policy_name):
+    """Just the pre-computation (rank/OCT + processor selection) phase."""
+    policy = get_policy(policy_name)
+    system = runner.system_for(4.0)
+
+    plan = benchmark(
+        lambda: policy.plan(biggest_graph, system, runner.lookup, 4, "single")
+    )
+    plan.validate(biggest_graph, system)

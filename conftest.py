@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+Offline environments sometimes cannot run ``pip install -e .`` (no network
+for build isolation); this keeps ``pytest`` working either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

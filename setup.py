@@ -1,0 +1,9 @@
+"""Shim so legacy (non-PEP-517) editable installs work offline.
+
+All metadata lives in pyproject.toml; environments without the ``wheel``
+package fall back to ``setup.py develop`` via this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Result analysis: improvement statistics and schedule visualization."""
+
+from repro.analysis.stats import (
+    improvement_percent,
+    improvement_vs_second_best,
+    occurrences_of_better_solutions,
+    summarize_values,
+)
+from repro.analysis.gantt import ascii_gantt
+
+__all__ = [
+    "improvement_percent",
+    "improvement_vs_second_best",
+    "occurrences_of_better_solutions",
+    "summarize_values",
+    "ascii_gantt",
+]

@@ -1,0 +1,51 @@
+"""ASCII Gantt charts of schedules.
+
+Quick terminal visualization of who ran what when — the textual analogue
+of the thesis's Figure 5 schedule listings, but proportional in time.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.core.system import SystemConfig
+
+
+def ascii_gantt(
+    schedule: Schedule,
+    system: SystemConfig,
+    width: int = 78,
+    label_width: int = 8,
+) -> str:
+    """Render a schedule as one bar row per processor.
+
+    Execution renders as ``█``, inbound transfer as ``░``, idle as ``·``.
+    Kernel ids are stamped into their bars where space allows.
+    """
+    if width < 20:
+        raise ValueError("width must be >= 20")
+    makespan = schedule.makespan
+    bar = width - label_width - 1
+    lines: list[str] = []
+    if makespan <= 0:
+        return "(empty schedule)"
+
+    def col(t: float) -> int:
+        return min(bar - 1, int(t / makespan * bar))
+
+    by_proc = schedule.by_processor()
+    for proc in system:
+        cells = ["·"] * bar
+        for e in by_proc.get(proc.name, []):
+            t0, t1 = col(e.transfer_start), col(e.exec_start)
+            for c in range(t0, t1):
+                cells[c] = "░"
+            e0, e1 = col(e.exec_start), max(col(e.finish_time), col(e.exec_start) + 1)
+            for c in range(e0, e1):
+                cells[c] = "█"
+            label = str(e.kernel_id)
+            if e1 - e0 >= len(label) + 1:
+                for i, ch in enumerate(label):
+                    cells[e0 + i] = ch
+        lines.append(f"{proc.name:<{label_width}}|{''.join(cells)}")
+    lines.append(f"{'':<{label_width}}0{' ' * (bar - len(f'{makespan:.1f} ms') - 1)}{makespan:.1f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Improvement statistics (thesis §4.4, eqs. (13)–(14)).
+
+The headline metric compares APT's average execution time (or λ delay)
+against the *second-best dynamic policy* over a suite of graphs::
+
+    Improvement = (avg_2nd_best − avg_APT) / avg_2nd_best × 100
+
+Negative values mean the baseline won — the thesis reports those too
+(Table 13, e.g. −0.298 % at α = 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def improvement_percent(baseline_avg: float, candidate_avg: float) -> float:
+    """Eq. (13)/(14): percent by which ``candidate`` beats ``baseline``."""
+    if baseline_avg <= 0:
+        raise ValueError(f"baseline average must be positive, got {baseline_avg}")
+    return (baseline_avg - candidate_avg) / baseline_avg * 100.0
+
+
+def improvement_vs_second_best(
+    values_by_policy: Mapping[str, Sequence[float]], candidate: str
+) -> tuple[float, str]:
+    """Improvement of ``candidate`` vs the best *other* policy's average.
+
+    Returns ``(improvement_percent, second_best_name)``.  The thesis's
+    comparison pool is the dynamic policies; pass only those in
+    ``values_by_policy``.
+    """
+    if candidate not in values_by_policy:
+        raise KeyError(f"candidate {candidate!r} missing from values")
+    averages = {
+        name: sum(v) / len(v) for name, v in values_by_policy.items() if len(v) > 0
+    }
+    others = {n: a for n, a in averages.items() if n != candidate}
+    if not others:
+        raise ValueError("need at least one non-candidate policy")
+    second_best = min(others, key=lambda n: others[n])
+    return improvement_percent(others[second_best], averages[candidate]), second_best
+
+
+def occurrences_of_better_solutions(
+    values_by_policy: Mapping[str, Sequence[float]], candidate: str, tol: float = 1e-9
+) -> int:
+    """How many graphs the candidate strictly wins against *all* others.
+
+    This is the simulator's "number of occurrences of better solutions"
+    statistic (§3.2 item 5).
+    """
+    series = values_by_policy[candidate]
+    n = len(series)
+    wins = 0
+    for i in range(n):
+        if all(
+            series[i] < other[i] - tol
+            for name, other in values_by_policy.items()
+            if name != candidate
+        ):
+            wins += 1
+    return wins
+
+
+def summarize_values(values: Sequence[float]) -> dict[str, float]:
+    """min/max/mean/std summary for report footers."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": math.sqrt(var),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,246 @@
+"""Command-line interface: ``apt-sched`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``simulate``  — run one policy on a generated workload, print metrics
+  and an ASCII Gantt chart;
+* ``compare``   — all seven thesis policies over an evaluation suite;
+* ``sweep``     — APT α × transfer-rate sweep (Figures 7/9/11/12);
+* ``table``     — regenerate a thesis table by number (8–13, 15, 16);
+* ``figure5``   — the published MET-vs-APT schedule example;
+* ``extension`` — the beyond-the-thesis studies (streaming load sweep,
+  extended policy pool, energy comparison);
+* ``calibrate`` — measure the real kernels on this machine and write a
+  fresh lookup table JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.gantt import ascii_gantt
+from repro.core.simulator import Simulator
+from repro.core.system import CPU_GPU_FPGA
+from repro.data.paper_tables import paper_lookup_table
+from repro.experiments import extensions, figures, tables
+from repro.experiments.report import render_figure, render_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads import DEFAULT_SEED, paper_suite
+from repro.graphs.generators import make_type1_dfg, make_type2_dfg
+from repro.policies.registry import PAPER_POLICIES, available_policies, get_policy
+
+_TABLES = {
+    "8": tables.table8,
+    "9": tables.table9,
+    "10": tables.table10,
+    "11": tables.table11,
+    "12": tables.table12,
+    "13": tables.table13,
+    "15": tables.table15,
+    "16": tables.table16,
+}
+_FIGURES = {
+    "6": figures.figure6,
+    "7": figures.figure7,
+    "8": figures.figure8_top4,
+    "9": figures.figure9,
+    "10": figures.figure10_apt_vs_met,
+    "11": figures.figure11,
+    "12": figures.figure12,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="apt-sched",
+        description="APT heterogeneous-scheduling reproduction (Karia, RIT 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one policy on one generated DFG")
+    sim.add_argument("--policy", default="apt", choices=available_policies())
+    sim.add_argument("--alpha", type=float, default=4.0, help="APT threshold multiplier")
+    sim.add_argument("--dfg-type", type=int, default=1, choices=(1, 2))
+    sim.add_argument("--kernels", type=int, default=46, help="number of kernels")
+    sim.add_argument("--rate", type=float, default=4.0, help="link rate in GB/s")
+    sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    cmp_ = sub.add_parser("compare", help="all thesis policies over a suite")
+    cmp_.add_argument("--dfg-type", type=int, default=1, choices=(1, 2))
+    cmp_.add_argument("--alpha", type=float, default=1.5)
+    cmp_.add_argument("--rate", type=float, default=4.0)
+    cmp_.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    sweep = sub.add_parser("sweep", help="APT alpha × rate sweep")
+    sweep.add_argument("--dfg-type", type=int, default=1, choices=(1, 2))
+    sweep.add_argument("--metric", default="makespan", choices=("makespan", "lambda"))
+    sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    tab = sub.add_parser("table", help="regenerate a thesis table")
+    tab.add_argument("number", choices=sorted(_TABLES, key=int))
+    tab.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    fig = sub.add_parser("figure", help="regenerate a thesis figure (6-12)")
+    fig.add_argument("number", choices=sorted(_FIGURES, key=int))
+    fig.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    sub.add_parser("figure5", help="the published MET vs APT schedule example")
+
+    ext = sub.add_parser("extension", help="extension studies beyond the thesis")
+    ext.add_argument("study", choices=("stream", "policies", "energy"))
+    ext.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    cal = sub.add_parser("calibrate", help="measure kernels, write lookup JSON")
+    cal.add_argument("output", help="path of the lookup-table JSON to write")
+    cal.add_argument(
+        "--max-side",
+        type=int,
+        default=500,
+        help="largest matrix side to measure (keeps runs quick)",
+    )
+    cal.add_argument("--repeats", type=int, default=3)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    make = make_type1_dfg if args.dfg_type == 1 else make_type2_dfg
+    dfg = make(args.kernels, rng=rng)
+    policy = (
+        get_policy(args.policy, alpha=args.alpha)
+        if args.policy in ("apt", "apt_rt")
+        else get_policy(args.policy)
+    )
+    system = CPU_GPU_FPGA(transfer_rate_gbps=args.rate)
+    sim = Simulator(system, paper_lookup_table())
+    result = sim.run(dfg, policy)
+    m = result.metrics
+    print(f"workload : {dfg.name} ({len(dfg)} kernels, {dfg.n_edges} edges)")
+    print(f"policy   : {result.policy_name}")
+    print(f"makespan : {m.makespan:,.3f} ms")
+    print(
+        f"lambda   : total={m.lambda_stats.total:,.3f} ms  "
+        f"avg={m.lambda_stats.average:,.3f} ms  "
+        f"stddev={m.lambda_stats.stddev:,.3f} ms  (N={m.lambda_stats.count})"
+    )
+    for name, usage in m.usage.items():
+        print(
+            f"  {name:<6s} compute={usage.compute_time:>12,.1f}  "
+            f"transfer={usage.transfer_time:>10,.1f}  "
+            f"idle={usage.idle_time:>12,.1f}  "
+            f"util={usage.utilization(m.makespan) * 100:5.1f}%"
+        )
+    if m.n_alternative_assignments:
+        print(f"alternative assignments: {m.n_alternative_assignments}")
+    if args.gantt:
+        print()
+        print(ascii_gantt(result.schedule, system))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    suite = paper_suite(args.dfg_type, args.seed)
+    by_policy = runner.compare_policies(
+        suite, PAPER_POLICIES, rate_gbps=args.rate, apt_alpha=args.alpha
+    )
+    print(
+        f"DFG Type-{args.dfg_type}, {args.rate} GB/s, APT alpha={args.alpha} "
+        f"(mean over {len(suite)} graphs)"
+    )
+    for name in PAPER_POLICIES:
+        makespans = [r.makespan for r in by_policy[name]]
+        lams = [r.total_lambda for r in by_policy[name]]
+        print(
+            f"  {name.upper():<5s} makespan={runner.mean(makespans):>12,.1f} ms   "
+            f"lambda={runner.mean(lams):>12,.1f} ms"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    fig_fn = {
+        (1, "makespan"): figures.figure7,
+        (2, "makespan"): figures.figure9,
+        (1, "lambda"): figures.figure11,
+        (2, "lambda"): figures.figure12,
+    }[(args.dfg_type, args.metric)]
+    print(render_figure(fig_fn(seed=args.seed)))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    print(render_table(_TABLES[args.number](seed=args.seed)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    print(render_figure(_FIGURES[args.number](seed=args.seed)))
+    return 0
+
+
+def _cmd_figure5(_args: argparse.Namespace) -> int:
+    ex = figures.figure5_schedule_example()
+    print("MET schedule (paper end time: 318.093 ms)")
+    print(ex.met_trace)
+    print(f"End time: {ex.met_end_time:.3f}")
+    print()
+    print("APT schedule, alpha=8 (paper end time: 212.093 ms)")
+    print(ex.apt_trace)
+    print(f"End Time: {ex.apt_end_time:.3f}")
+    return 0
+
+
+def _cmd_extension(args: argparse.Namespace) -> int:
+    fn = {
+        "stream": extensions.streaming_load_sweep,
+        "policies": extensions.extended_policy_comparison,
+        "energy": extensions.energy_comparison,
+    }[args.study]
+    print(render_table(fn(seed=args.seed)))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.kernels.calibration import Calibrator
+
+    side = args.max_side
+    sizes = {
+        "matmul": [(side // 2) ** 2, side**2],
+        "matinv": [(side // 2) ** 2, side**2],
+        "cholesky": [(side // 2) ** 2, side**2],
+        "nw": [(side // 2) ** 2, side**2],
+        "bfs": [side * 20, side * 40],
+        "srad": [(side // 2) ** 2, side**2],
+        "gem": [side * 50, side * 100],
+    }
+    cal = Calibrator(repeats=args.repeats)
+    table = cal.calibrate(sizes)
+    table.to_json(args.output)
+    print(f"wrote {len(table)} lookup points to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "figure5": _cmd_figure5,
+    "extension": _cmd_extension,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Core substrate: heterogeneous-system model, lookup table, discrete-event simulator.
+
+The thesis evaluates scheduling policies on a *simulated* CPU/GPU/FPGA
+system driven by a table of measured kernel execution times.  This
+subpackage rebuilds that simulator:
+
+* :mod:`repro.core.system` — processors, link model, system configuration;
+* :mod:`repro.core.lookup` — the kernel-execution-time lookup table;
+* :mod:`repro.core.events` — the event queue driving the simulation;
+* :mod:`repro.core.simulator` — the simulation engine itself;
+* :mod:`repro.core.schedule` — the schedule record a run produces;
+* :mod:`repro.core.metrics` — makespan, utilization and λ-delay metrics;
+* :mod:`repro.core.trace` — optional step-by-step state traces (Figure 5).
+"""
+
+from repro.core.system import Processor, ProcessorType, SystemConfig, CPU_GPU_FPGA
+from repro.core.lookup import LookupTable, LookupEntry
+from repro.core.events import Event, EventKind, EventQueue
+from repro.core.simulator import Simulator, SimulationResult
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.metrics import SimulationMetrics, LambdaStats, ProcessorUsage
+from repro.core.trace import StateTrace, StateSnapshot
+from repro.core.energy import (
+    DEFAULT_POWER_MODEL,
+    EnergyReport,
+    PowerModel,
+    ProcessorEnergy,
+    energy_of,
+)
+
+__all__ = [
+    "Processor",
+    "ProcessorType",
+    "SystemConfig",
+    "CPU_GPU_FPGA",
+    "LookupTable",
+    "LookupEntry",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Simulator",
+    "SimulationResult",
+    "Schedule",
+    "ScheduleEntry",
+    "SimulationMetrics",
+    "LambdaStats",
+    "ProcessorUsage",
+    "StateTrace",
+    "StateSnapshot",
+    "PowerModel",
+    "DEFAULT_POWER_MODEL",
+    "EnergyReport",
+    "ProcessorEnergy",
+    "energy_of",
+]

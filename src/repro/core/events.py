@@ -1,0 +1,91 @@
+"""Discrete-event machinery for the heterogeneous-system simulator.
+
+A tiny, deterministic event queue.  Events are ordered by time; ties are
+broken by a monotonically increasing sequence number so identical
+timestamps are processed in insertion order, which keeps simulations
+reproducible regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class EventKind(Enum):
+    """What happened at an event timestamp."""
+
+    KERNEL_READY = "kernel_ready"
+    TRANSFER_COMPLETE = "transfer_complete"
+    KERNEL_COMPLETE = "kernel_complete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """A timestamped simulation event.
+
+    ``payload`` carries event-specific data (kernel id, processor name).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Event:
+        if not self._heap:
+            raise IndexError("peek at empty EventQueue")
+        return self._heap[0][2]
+
+    def pop_simultaneous(self) -> list[Event]:
+        """Pop *all* events sharing the earliest timestamp, in FIFO order.
+
+        The simulator completes every kernel finishing at time *t* before
+        re-invoking the scheduling policy, so the policy sees the full ready
+        set — this matters for policies like SS that rank across kernels.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        first = self.pop()
+        events = [first]
+        while self._heap and self._heap[0][0] == first.time:
+            events.append(self.pop())
+        return events
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,144 @@
+"""Simulation metrics.
+
+The thesis's simulator reports, besides the schedule itself (§3.2):
+
+1. total execution time (makespan),
+2. compute time per processor,
+3. transfer time per processor,
+4. idle time per processor,
+5. occurrences of better solutions (computed across runs in
+   :mod:`repro.analysis.stats`),
+6. total λ delay,
+7. average λ delay  — eq. (11),
+8. λ-delay standard deviation — eq. (12).
+
+This module computes 1–4 and 6–8 from a :class:`~repro.core.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.schedule import Schedule
+from repro.core.system import SystemConfig
+
+#: Delays smaller than this (ms) are numerical noise, not real λ occurrences.
+LAMBDA_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ProcessorUsage:
+    """Busy/transfer/idle breakdown for one processor over a run."""
+
+    processor: str
+    compute_time: float
+    transfer_time: float
+    idle_time: float
+
+    @property
+    def busy_time(self) -> float:
+        return self.compute_time + self.transfer_time
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of the run this processor spent busy (0 for empty runs)."""
+        return self.busy_time / makespan if makespan > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class LambdaStats:
+    """λ-delay summary per thesis eqs. (11)–(12).
+
+    ``count`` (the paper's *N*) is the number of kernels that experienced a
+    positive delay; ``total`` sums those delays.
+    """
+
+    total: float
+    count: int
+    average: float
+    stddev: float
+
+    @classmethod
+    def from_delays(cls, delays: list[float]) -> "LambdaStats":
+        positive = [d for d in delays if d > LAMBDA_EPSILON]
+        n = len(positive)
+        total = float(sum(positive))
+        avg = total / n if n else 0.0
+        var = sum((d - avg) ** 2 for d in positive) / n if n else 0.0
+        return cls(total=total, count=n, average=avg, stddev=math.sqrt(var))
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """All scalar metrics of one simulation run.
+
+    ``lambda_stats`` uses the thesis's arrival-anchored λ (see
+    :attr:`~repro.core.schedule.ScheduleEntry.lambda_delay`);
+    ``queue_wait_stats`` summarizes the ready-anchored waiting component
+    alone.
+    """
+
+    makespan: float
+    usage: Mapping[str, ProcessorUsage]
+    lambda_stats: LambdaStats
+    queue_wait_stats: LambdaStats
+    n_kernels: int
+    n_alternative_assignments: int = 0
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(u.compute_time for u in self.usage.values())
+
+    @property
+    def total_transfer_time(self) -> float:
+        return sum(u.transfer_time for u in self.usage.values())
+
+    @property
+    def total_idle_time(self) -> float:
+        return sum(u.idle_time for u in self.usage.values())
+
+    def mean_utilization(self) -> float:
+        """Average busy fraction across all processors."""
+        if not self.usage:
+            return 0.0
+        return sum(u.utilization(self.makespan) for u in self.usage.values()) / len(
+            self.usage
+        )
+
+
+def compute_metrics(
+    schedule: Schedule,
+    system: SystemConfig,
+    n_alternative_assignments: int = 0,
+) -> SimulationMetrics:
+    """Derive :class:`SimulationMetrics` from a finished schedule.
+
+    Idle time of a processor is ``makespan − busy time``: processors idle
+    from time 0 through the end of the run, exactly as a real device would
+    sit unused (the thesis counts "time for which each processor was
+    idle").
+    """
+    makespan = schedule.makespan
+    usage: dict[str, ProcessorUsage] = {}
+    by_proc = schedule.by_processor()
+    for proc in system:
+        entries = by_proc.get(proc.name, [])
+        compute = sum(e.exec_time for e in entries)
+        transfer = sum(e.transfer_time for e in entries)
+        usage[proc.name] = ProcessorUsage(
+            processor=proc.name,
+            compute_time=compute,
+            transfer_time=transfer,
+            idle_time=max(0.0, makespan - compute - transfer),
+        )
+    lam = LambdaStats.from_delays([e.lambda_delay for e in schedule])
+    wait = LambdaStats.from_delays([e.queue_wait for e in schedule])
+    return SimulationMetrics(
+        makespan=makespan,
+        usage=usage,
+        lambda_stats=lam,
+        queue_wait_stats=wait,
+        n_kernels=len(schedule),
+        n_alternative_assignments=n_alternative_assignments,
+    )

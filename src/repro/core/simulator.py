@@ -1,0 +1,453 @@
+"""The heterogeneous-system simulator.
+
+This is the engine the thesis describes in §3.2: processors execute
+kernels whose durations come from the lookup table; data moves over
+PCIe-style links; a scheduling policy decides the kernel→processor
+mapping; and the run produces a schedule log plus the statistical metrics
+of §3.2 (makespan, per-processor compute/transfer/idle time, λ delays).
+
+Execution model
+---------------
+* Every processor owns a FIFO dispatch queue.  Policies that only assign
+  to idle processors (APT, MET, SPN, SS, and the static plans) keep queues
+  at length ≤ 1; Adaptive Greedy queues kernels onto busy processors.
+* When a processor picks up a kernel, the kernel's *inbound data transfer*
+  runs first (if any predecessor executed elsewhere), then the kernel
+  computes for its lookup-table time.  The processor is occupied for both
+  phases.
+* A kernel becomes **ready** the instant its last predecessor finishes;
+  its λ delay is the gap from that instant to the start of its execution.
+* The policy is (re-)invoked after every batch of simultaneous events and
+  after each round of assignments, until no further assignment is made —
+  so a policy always sees the maximal ready set and the true idle set.
+
+Determinism: given the same DFG, system, lookup table and policy
+configuration, a run is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.core.events import Event, EventKind, EventQueue
+from repro.core.lookup import LookupTable
+from repro.core.metrics import SimulationMetrics, compute_metrics
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.system import SystemConfig
+from repro.core.trace import StateTrace
+from repro.graphs.dfg import DFG
+from repro.policies.base import (
+    Assignment,
+    DynamicPolicy,
+    Policy,
+    ProcessorView,
+    SchedulingContext,
+    StaticPlan,
+    StaticPolicy,
+)
+
+_VALID_TRANSFER_MODES = ("single", "per_predecessor")
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a policy produces an infeasible decision or deadlocks."""
+
+
+@dataclass
+class _ProcState:
+    """Mutable runtime state of one processor."""
+
+    free_at: float = 0.0
+    running: int | None = None
+    queue: Deque[tuple[int, bool]] = field(default_factory=deque)  # (kid, alternative)
+
+    def busy(self, now: float) -> bool:
+        return self.running is not None and self.free_at > now + 1e-12
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced."""
+
+    schedule: Schedule
+    metrics: SimulationMetrics
+    policy_name: str
+    policy_stats: dict[str, object]
+    dfg_name: str
+    trace: StateTrace | None = None
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
+
+    @property
+    def total_lambda(self) -> float:
+        return self.metrics.lambda_stats.total
+
+    @property
+    def avg_lambda(self) -> float:
+        return self.metrics.lambda_stats.average
+
+
+class Simulator:
+    """Discrete-event simulator of a heterogeneous system.
+
+    Parameters
+    ----------
+    system:
+        The hardware platform.
+    lookup:
+        Execution-time table; must cover every kernel type the DFGs use.
+    element_size:
+        Bytes per data element, for transfer times (default 4 — single-
+        precision words, matching the OpenCL kernels the paper measures).
+    transfer_mode:
+        ``"single"`` (default): one inbound transfer of the kernel's data,
+        i.e. the max over cross-processor predecessors — the paper's
+        ``d_jk`` edge-cost model.  ``"per_predecessor"``: transfers from
+        distinct predecessors serialize (sum).
+    transfers_enabled:
+        Set false to zero all transfer times (the Figure 5 example does
+        this: "to simplify the example, we do not consider transfer
+        times").
+    collect_trace:
+        Record a :class:`~repro.core.trace.StateTrace` of the run.
+    exec_noise_sigma:
+        Standard deviation of multiplicative log-normal noise applied to
+        *actual* execution times.  Policies keep deciding on the clean
+        lookup-table estimates — this models the estimation error a real
+        deployment faces (the lookup table is a point estimate; runs
+        jitter).  0 (default) reproduces the thesis's noise-free setting.
+    noise_seed:
+        Seed of the noise stream (re-seeded per run, so runs stay
+        deterministic and comparable across policies).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        lookup: LookupTable,
+        element_size: int = 4,
+        transfer_mode: str = "single",
+        transfers_enabled: bool = True,
+        collect_trace: bool = False,
+        exec_noise_sigma: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        if transfer_mode not in _VALID_TRANSFER_MODES:
+            raise ValueError(
+                f"transfer_mode must be one of {_VALID_TRANSFER_MODES}, got {transfer_mode!r}"
+            )
+        if element_size <= 0:
+            raise ValueError("element_size must be positive")
+        if exec_noise_sigma < 0:
+            raise ValueError("exec_noise_sigma must be >= 0")
+        self.system = system
+        self.lookup = lookup
+        self.element_size = int(element_size)
+        self.transfer_mode = transfer_mode
+        self.transfers_enabled = transfers_enabled
+        self.collect_trace = collect_trace
+        self.exec_noise_sigma = float(exec_noise_sigma)
+        self.noise_seed = int(noise_seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dfg: DFG,
+        policy: Policy,
+        arrivals: dict[int, float] | None = None,
+    ) -> SimulationResult:
+        """Simulate ``dfg`` under ``policy`` and return the full result.
+
+        ``arrivals`` optionally maps kernel ids to the time they enter the
+        system (default 0 — the thesis's submitted-at-once stream).  A
+        kernel becomes ready only once it has arrived *and* its
+        predecessors completed; λ is anchored at arrival.  Static policies
+        still plan on the full DFG — on streaming workloads they act as a
+        clairvoyant upper baseline, which the caller should keep in mind.
+        """
+        if not isinstance(policy, (DynamicPolicy, StaticPolicy)):
+            raise TypeError(
+                f"policy must be a DynamicPolicy or StaticPolicy, got {type(policy)!r}"
+            )
+        dfg.validate()
+        if arrivals:
+            for kid, t in arrivals.items():
+                if kid not in dfg:
+                    raise KeyError(f"arrival for unknown kernel {kid}")
+                if t < 0:
+                    raise ValueError(f"arrival time must be >= 0 (kernel {kid}: {t})")
+        policy.reset()
+        if dfg.is_empty():
+            schedule = Schedule()
+            return SimulationResult(
+                schedule=schedule,
+                metrics=compute_metrics(schedule, self.system),
+                policy_name=policy.name,
+                policy_stats=policy.stats(),
+                dfg_name=dfg.name,
+                trace=StateTrace([]) if self.collect_trace else None,
+            )
+
+        driver: DynamicPolicy
+        if isinstance(policy, StaticPolicy):
+            plan = policy.plan(
+                dfg,
+                self.system,
+                self.lookup,
+                element_size=self.element_size,
+                transfer_mode=self.transfer_mode if self.transfers_enabled else "single",
+            )
+            plan.validate(dfg, self.system)
+            driver = _PlanDispatcher(plan)
+        else:
+            driver = policy
+
+        return self._simulate(dfg, policy, driver, arrivals or {})
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        dfg: DFG,
+        policy: Policy,
+        driver: DynamicPolicy,
+        arrivals: dict[int, float],
+    ) -> SimulationResult:
+        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in self.system}
+        arrival_of = {k: arrivals.get(k, 0.0) for k in dfg.kernel_ids()}
+        # FCFS ready queue: kernels arrived and with all dependencies done.
+        ready: list[int] = [k for k in dfg.entry_kernels() if arrival_of[k] == 0.0]
+        ready_time: dict[int, float] = {k: 0.0 for k in ready}
+        assign_time: dict[int, float] = {}
+        is_alternative: dict[int, bool] = {}
+        assignment_of: dict[int, str] = {}
+        completed: set[int] = set()
+        remaining_preds: dict[int, int] = {
+            k: len(dfg.predecessors(k)) for k in dfg.kernel_ids()
+        }
+        exec_history: dict[str, list[float]] = {p.name: [] for p in self.system}
+        events = EventQueue()
+        schedule = Schedule()
+        now = 0.0
+        n_kernels = len(dfg)
+        arrived: set[int] = {k for k, t in arrival_of.items() if t == 0.0}
+        for kid, t in arrival_of.items():
+            if t > 0.0:
+                events.push(Event(t, EventKind.KERNEL_READY, payload=(kid, None)))
+        # Per-kernel noise factors drawn up-front (id-indexed) so they do
+        # not depend on the policy's execution order — every policy faces
+        # the *same* perturbed reality.
+        if self.exec_noise_sigma > 0.0:
+            import numpy as _np
+
+            noise_rng = _np.random.default_rng(self.noise_seed)
+            noise = {
+                k: float(_np.exp(noise_rng.normal(0.0, self.exec_noise_sigma)))
+                for k in dfg.kernel_ids()
+            }
+        else:
+            noise = {}
+
+        def make_context() -> SchedulingContext:
+            views = {
+                name: ProcessorView(
+                    processor=self.system[name],
+                    busy=st.running is not None,
+                    free_at=max(now, st.free_at),
+                    queue_length=len(st.queue),
+                    running_kernel=st.running,
+                )
+                for name, st in procs.items()
+            }
+            return SchedulingContext(
+                time=now,
+                ready=tuple(ready),
+                dfg=dfg,
+                system=self.system,
+                lookup=self.lookup,
+                views=views,
+                assignment_of=assignment_of,
+                completed=frozenset(completed),
+                element_size=self.element_size,
+                transfer_mode=self.transfer_mode,
+                exec_history=exec_history,
+            )
+
+        def inbound_transfer(kid: int, target: str) -> float:
+            if not self.transfers_enabled:
+                return 0.0
+            nbytes = dfg.spec(kid).data_size * self.element_size
+            costs = [
+                self.system.transfer_time_ms(assignment_of[pred], target, nbytes)
+                for pred in dfg.predecessors(kid)
+                if assignment_of.get(pred) not in (None, target)
+            ]
+            costs = [c for c in costs if c > 0.0]
+            if not costs:
+                return 0.0
+            return sum(costs) if self.transfer_mode == "per_predecessor" else max(costs)
+
+        def start_if_possible(name: str) -> bool:
+            """Pop the processor's queue head and start it, if idle."""
+            st = procs[name]
+            if st.running is not None or not st.queue:
+                return False
+            kid, alternative = st.queue.popleft()
+            spec = dfg.spec(kid)
+            transfer = inbound_transfer(kid, name)
+            exec_time = self.lookup.time(
+                spec.kernel, spec.data_size, self.system[name].ptype
+            ) * noise.get(kid, 1.0)
+            transfer_start = now
+            exec_start = now + transfer
+            finish = exec_start + exec_time
+            st.running = kid
+            st.free_at = finish
+            exec_history[name].append(exec_time)
+            schedule.add(
+                ScheduleEntry(
+                    kernel_id=kid,
+                    kernel=spec.kernel,
+                    data_size=spec.data_size,
+                    processor=name,
+                    ptype=self.system[name].ptype.value,
+                    ready_time=ready_time[kid],
+                    assign_time=assign_time[kid],
+                    transfer_start=transfer_start,
+                    exec_start=exec_start,
+                    finish_time=finish,
+                    used_alternative=is_alternative.get(kid, False),
+                    arrival_time=arrival_of[kid],
+                )
+            )
+            events.push(Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name)))
+            return True
+
+        def apply_assignments(assignments: list[Assignment]) -> bool:
+            progress = False
+            for a in assignments:
+                if a.kernel_id not in ready:
+                    raise SchedulingError(
+                        f"{policy.name}: kernel {a.kernel_id} is not ready at t={now}"
+                    )
+                if a.processor not in procs:
+                    raise SchedulingError(
+                        f"{policy.name}: unknown processor {a.processor!r}"
+                    )
+                st = procs[a.processor]
+                if not a.queued and (st.running is not None or st.queue):
+                    raise SchedulingError(
+                        f"{policy.name}: non-queued assignment of kernel "
+                        f"{a.kernel_id} to busy processor {a.processor} at t={now}"
+                    )
+                ready.remove(a.kernel_id)
+                assignment_of[a.kernel_id] = a.processor
+                assign_time[a.kernel_id] = now
+                is_alternative[a.kernel_id] = a.alternative
+                st.queue.append((a.kernel_id, a.alternative))
+                progress = True
+            for name in procs:
+                if start_if_possible(name):
+                    progress = True
+            return progress
+
+        # main loop -----------------------------------------------------
+        while len(completed) < n_kernels:
+            # assignment fixpoint at the current instant
+            for _ in range(n_kernels * len(procs) + 2):
+                assignments = driver.select(make_context()) if ready else []
+                if not apply_assignments(list(assignments)):
+                    break
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"{policy.name}: assignment loop did not converge at t={now}"
+                )
+
+            if not events:
+                raise SchedulingError(
+                    f"{policy.name}: deadlock at t={now} — "
+                    f"{n_kernels - len(completed)} kernels unfinished, no events pending "
+                    f"(ready={ready})"
+                )
+
+            for ev in events.pop_simultaneous():
+                now = ev.time
+                kid, name = ev.payload
+                if ev.kind is EventKind.KERNEL_READY:
+                    # streaming arrival: the kernel enters the system now
+                    arrived.add(kid)
+                    if remaining_preds[kid] == 0:
+                        ready_time[kid] = now
+                        ready.append(kid)
+                    continue
+                st = procs[name]
+                if st.running != kid:  # pragma: no cover - defensive
+                    raise SchedulingError(
+                        f"completion event for kernel {kid} on {name}, "
+                        f"but {st.running} is running"
+                    )
+                st.running = None
+                completed.add(kid)
+                for succ in dfg.successors(kid):
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0 and succ in arrived:
+                        ready_time[succ] = now
+                        ready.append(succ)
+                # a queued kernel may start immediately on the freed processor
+                start_if_possible(name)
+
+        schedule.validate(dfg)
+        stats = policy.stats()
+        n_alt = sum(1 for e in schedule if e.used_alternative)
+        return SimulationResult(
+            schedule=schedule,
+            metrics=compute_metrics(schedule, self.system, n_alternative_assignments=n_alt),
+            policy_name=policy.name,
+            policy_stats=stats,
+            dfg_name=dfg.name,
+            trace=StateTrace.from_schedule(schedule, self.system)
+            if self.collect_trace
+            else None,
+        )
+
+
+class _PlanDispatcher(DynamicPolicy):
+    """Internal driver executing a :class:`StaticPlan`.
+
+    Each processor runs its planned kernels strictly in plan-priority
+    order; a kernel is dispatched once it is ready, its processor is idle,
+    and every earlier-priority kernel planned to that processor has been
+    dispatched.
+    """
+
+    name = "_plan"
+
+    def __init__(self, plan: StaticPlan) -> None:
+        self._plan = plan
+        # per-processor dispatch order
+        self._order: dict[str, list[int]] = {}
+        for kid, proc in plan.processor_of.items():
+            self._order.setdefault(proc, []).append(kid)
+        for proc in self._order:
+            self._order[proc].sort(key=lambda k: plan.priority[k])
+        self._dispatched: set[int] = set()
+
+    def reset(self) -> None:
+        self._dispatched = set()
+
+    def select(self, ctx: SchedulingContext) -> list[Assignment]:
+        out: list[Assignment] = []
+        ready = set(ctx.ready)
+        for proc_name, order in self._order.items():
+            view = ctx.views[proc_name]
+            if not view.idle:
+                continue
+            pending = [k for k in order if k not in self._dispatched]
+            if pending and pending[0] in ready:
+                kid = pending[0]
+                self._dispatched.add(kid)
+                out.append(Assignment(kernel_id=kid, processor=proc_name))
+        return out

@@ -1,0 +1,210 @@
+"""Heterogeneous system model: processors and interconnect.
+
+The thesis simulates a commercial-off-the-shelf system of CPUs, GPUs and
+FPGAs joined by PCI Express links (paper §3.2, Figure 1).  Both the number
+of processors of each type and the link bandwidth are configurable; the
+evaluation uses one CPU, one GPU and one FPGA with a uniform 4 GB/s or
+8 GB/s link between every processor pair.
+
+Units
+-----
+* time       — milliseconds (matching the paper's lookup table),
+* bandwidth  — GB/s (decimal: 1 GB/s = 1e9 bytes/s = 1e6 bytes/ms),
+* data size  — element counts on kernels; bytes = elements × element_size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+
+class ProcessorType(str, Enum):
+    """Category of a hardware platform.
+
+    The paper generalizes execution times to the *category* of the platform
+    (§3.2: a measured CPU time stands for "CPU", whatever the exact model),
+    so the lookup table is keyed by :class:`ProcessorType`, not by device.
+    """
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+    ASIC = "asic"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+@dataclass(frozen=True, order=True)
+class Processor:
+    """A single device in the heterogeneous system.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"cpu0"``.
+    ptype:
+        Hardware category used to look up kernel execution times.
+    """
+
+    name: str
+    ptype: ProcessorType
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point interconnect between two processors.
+
+    ``rate_gbps`` is the sustained transfer bandwidth in GB/s.  The paper
+    models PCIe 2.0 with 8 lanes (~4 GB/s) or 16 lanes (~8 GB/s) and uses
+    the same rate between every processor pair.
+    """
+
+    src: str
+    dst: str
+    rate_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_gbps <= 0:
+            raise ValueError(f"link rate must be positive, got {self.rate_gbps}")
+
+    def transfer_time_ms(self, nbytes: float) -> float:
+        """Time in milliseconds to move ``nbytes`` across this link."""
+        return nbytes / (self.rate_gbps * 1e6)
+
+
+class SystemConfig:
+    """The full hardware platform: processors plus interconnect.
+
+    Parameters
+    ----------
+    processors:
+        Devices in the system.  Names must be unique.
+    transfer_rate_gbps:
+        Default bandwidth applied between every processor pair (the paper
+        keeps all links at the same rate).
+    link_overrides:
+        Optional per-pair bandwidth overrides, keyed by ``(src, dst)`` name
+        pairs.  Links are treated as symmetric: an override for
+        ``("a", "b")`` also applies to ``("b", "a")`` unless that direction
+        has its own entry.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[Processor],
+        transfer_rate_gbps: float = 4.0,
+        link_overrides: Mapping[tuple[str, str], float] | None = None,
+    ) -> None:
+        self._processors: tuple[Processor, ...] = tuple(processors)
+        if not self._processors:
+            raise ValueError("a system needs at least one processor")
+        names = [p.name for p in self._processors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate processor names: {names}")
+        if transfer_rate_gbps <= 0:
+            raise ValueError("transfer_rate_gbps must be positive")
+        self._default_rate = float(transfer_rate_gbps)
+        self._by_name = {p.name: p for p in self._processors}
+        self._overrides: dict[tuple[str, str], float] = {}
+        for (a, b), rate in (link_overrides or {}).items():
+            if a not in self._by_name or b not in self._by_name:
+                raise KeyError(f"link override references unknown processor: {(a, b)}")
+            if rate <= 0:
+                raise ValueError(f"link rate must be positive for {(a, b)}")
+            self._overrides[(a, b)] = float(rate)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> tuple[Processor, ...]:
+        return self._processors
+
+    @property
+    def default_rate_gbps(self) -> float:
+        return self._default_rate
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self._processors)
+
+    def __contains__(self, proc: Processor | str) -> bool:
+        name = proc.name if isinstance(proc, Processor) else proc
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Processor:
+        return self._by_name[name]
+
+    def processor_types(self) -> tuple[ProcessorType, ...]:
+        """Distinct processor types present, in first-appearance order."""
+        seen: dict[ProcessorType, None] = {}
+        for p in self._processors:
+            seen.setdefault(p.ptype, None)
+        return tuple(seen)
+
+    def of_type(self, ptype: ProcessorType) -> tuple[Processor, ...]:
+        """All processors of the given category."""
+        return tuple(p for p in self._processors if p.ptype == ptype)
+
+    # ------------------------------------------------------------------
+    # interconnect
+    # ------------------------------------------------------------------
+    def link(self, src: str, dst: str) -> Link:
+        """The link between two (distinct) processors."""
+        if src not in self._by_name or dst not in self._by_name:
+            raise KeyError(f"unknown processor in link query: {(src, dst)}")
+        rate = self._overrides.get(
+            (src, dst), self._overrides.get((dst, src), self._default_rate)
+        )
+        return Link(src, dst, rate)
+
+    def transfer_time_ms(self, src: str, dst: str, nbytes: float) -> float:
+        """Milliseconds to move ``nbytes`` from ``src`` to ``dst``.
+
+        Transfers within a single device are free — the data is already
+        resident in that device's memory.
+        """
+        if src == dst:
+            return 0.0
+        return self.link(src, dst).transfer_time_ms(nbytes)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-line-per-processor summary."""
+        lines = [f"SystemConfig ({len(self)} processors, {self._default_rate} GB/s links)"]
+        for p in self._processors:
+            lines.append(f"  {p.name:<10s} [{p.ptype}]")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(p.name for p in self._processors)
+        return f"SystemConfig([{names}], rate={self._default_rate} GB/s)"
+
+
+def CPU_GPU_FPGA(
+    transfer_rate_gbps: float = 4.0,
+    n_cpu: int = 1,
+    n_gpu: int = 1,
+    n_fpga: int = 1,
+) -> SystemConfig:
+    """The paper's evaluation platform: CPUs + GPUs + FPGAs, uniform links.
+
+    The thesis uses ``n_cpu = n_gpu = n_fpga = 1`` (§3.2) but exposes the
+    counts as knobs of its simulator; so do we.
+    """
+    if min(n_cpu, n_gpu, n_fpga) < 0 or n_cpu + n_gpu + n_fpga == 0:
+        raise ValueError("processor counts must be non-negative and not all zero")
+    procs: list[Processor] = []
+    procs += [Processor(f"cpu{i}", ProcessorType.CPU) for i in range(n_cpu)]
+    procs += [Processor(f"gpu{i}", ProcessorType.GPU) for i in range(n_gpu)]
+    procs += [Processor(f"fpga{i}", ProcessorType.FPGA) for i in range(n_fpga)]
+    return SystemConfig(procs, transfer_rate_gbps=transfer_rate_gbps)

@@ -1,0 +1,92 @@
+"""State traces: the Figure 5 view of a simulation.
+
+Figure 5 of the thesis prints the system state ("CPU:0-nw  GPU: idle
+FPGA:1-bfs   0.0") at every instant an allocation changes or a kernel
+completes.  :class:`StateTrace` reconstructs exactly that view from a
+schedule, which lets tests assert the published MET/APT example verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.schedule import Schedule
+from repro.core.system import SystemConfig
+
+#: Two timestamps closer than this are the same trace instant.
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Occupancy of every processor at one instant.
+
+    ``occupancy`` maps processor name to ``"<kid>-<kernel>"`` for a busy
+    processor (transfer or execution in flight) or ``None`` when idle.
+    """
+
+    time: float
+    occupancy: dict[str, str | None]
+
+    def format(self, processors: Sequence[str]) -> str:
+        parts = []
+        for p in processors:
+            what = self.occupancy.get(p)
+            parts.append(f"{p.upper()}:{what if what else ' idle'}")
+        return "   ".join(parts) + f"      {self.time:.1f}"
+
+
+class StateTrace:
+    """The sequence of state changes of a run (Figure 5 reproduction)."""
+
+    def __init__(self, snapshots: list[StateSnapshot]) -> None:
+        self.snapshots = snapshots
+
+    @classmethod
+    def from_schedule(cls, schedule: Schedule, system: SystemConfig) -> "StateTrace":
+        """Rebuild the per-instant occupancy view from a finished schedule."""
+        times: list[float] = sorted(
+            {
+                t
+                for e in schedule
+                for t in (e.transfer_start, e.finish_time)
+            }
+        )
+        # Merge numerically identical instants.
+        merged: list[float] = []
+        for t in times:
+            if not merged or t - merged[-1] > _TIME_EPS:
+                merged.append(t)
+        snapshots: list[StateSnapshot] = []
+        for t in merged:
+            occ: dict[str, str | None] = {p.name: None for p in system}
+            for e in schedule:
+                if e.transfer_start - _TIME_EPS <= t < e.finish_time - _TIME_EPS:
+                    occ[e.processor] = f"{e.kernel_id}-{e.kernel}"
+            snapshots.append(StateSnapshot(time=t, occupancy=occ))
+        return cls(snapshots)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self):
+        return iter(self.snapshots)
+
+    def format(self, system: SystemConfig) -> str:
+        """Multi-line rendering in the thesis's Figure 5 style."""
+        procs = [p.name for p in system]
+        lines = [s.format(procs) for s in self.snapshots]
+        return "\n".join(lines)
+
+    def occupancy_at(self, time: float) -> dict[str, str | None]:
+        """The most recent snapshot at or before ``time``."""
+        best: StateSnapshot | None = None
+        for s in self.snapshots:
+            if s.time <= time + _TIME_EPS:
+                best = s
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no snapshot at or before t={time}")
+        return dict(best.occupancy)

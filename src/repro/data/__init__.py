@@ -1,0 +1,19 @@
+"""Published data from the thesis: lookup tables, kernel roster, hardware specs."""
+
+from repro.data.paper_tables import (
+    PAPER_KERNELS,
+    PAPER_GRAPH_SIZES,
+    HARDWARE_PLATFORMS,
+    paper_lookup_table,
+    figure5_lookup_table,
+    FIGURE5_KERNELS,
+)
+
+__all__ = [
+    "PAPER_KERNELS",
+    "PAPER_GRAPH_SIZES",
+    "HARDWARE_PLATFORMS",
+    "paper_lookup_table",
+    "figure5_lookup_table",
+    "FIGURE5_KERNELS",
+]

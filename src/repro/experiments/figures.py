@@ -1,0 +1,259 @@
+"""Reproducers for the thesis's evaluation figures (Figures 5–12).
+
+Each returns a :class:`~repro.experiments.report.FigureResult` (numeric
+series; rendering is the caller's business) except
+:func:`figure5_schedule_example`, which reproduces the published schedule
+traces verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulator import SimulationResult, Simulator
+from repro.core.system import CPU_GPU_FPGA
+from repro.data.paper_tables import FIGURE5_KERNELS, figure5_lookup_table
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import (
+    PAPER_ALPHAS,
+    PAPER_RATES_GBPS,
+    ExperimentRunner,
+)
+from repro.experiments.workloads import DEFAULT_SEED, paper_suite
+from repro.graphs.dfg import DFG
+from repro.policies.apt import APT
+from repro.policies.met import MET
+
+#: The four best policies of Figures 6/8.
+TOP4_POLICIES = ("apt", "met", "heft", "peft")
+
+
+@dataclass(frozen=True)
+class ScheduleExample:
+    """Figure 5: MET vs APT(α=8) on the published 5-kernel workload."""
+
+    met: SimulationResult
+    apt: SimulationResult
+    met_trace: str
+    apt_trace: str
+
+    @property
+    def met_end_time(self) -> float:
+        return self.met.makespan
+
+    @property
+    def apt_end_time(self) -> float:
+        return self.apt.makespan
+
+
+def figure5_schedule_example(alpha: float = 8.0) -> ScheduleExample:
+    """Reproduce the Figure 5 example exactly.
+
+    The thesis publishes the full inputs (Table 7 kernels, no transfers,
+    α = 8), so this is the one experiment where absolute numbers must
+    match: MET ends at 318.093 ms, APT at 212.093 ms.
+    """
+    system = CPU_GPU_FPGA()
+    sim = Simulator(
+        system, figure5_lookup_table(), transfers_enabled=False, collect_trace=True
+    )
+    dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+    met = sim.run(dfg, MET())
+    apt = sim.run(dfg, APT(alpha=alpha))
+    assert met.trace is not None and apt.trace is not None
+    return ScheduleExample(
+        met=met,
+        apt=apt,
+        met_trace=met.trace.format(system),
+        apt_trace=apt.trace.format(system),
+    )
+
+
+def _top4_figure(
+    title: str,
+    dfg_type: int,
+    runner: ExperimentRunner | None,
+    seed: int,
+    apt_alpha: float,
+    rate_gbps: float,
+) -> FigureResult:
+    runner = runner if runner is not None else ExperimentRunner()
+    suite = paper_suite(dfg_type, seed)
+    by_policy = runner.compare_policies(
+        suite, TOP4_POLICIES, rate_gbps=rate_gbps, apt_alpha=apt_alpha
+    )
+    means = {
+        name.upper(): (runner.mean([r.makespan for r in recs]),)
+        for name, recs in by_policy.items()
+    }
+    return FigureResult(
+        title=title,
+        x_label="policy-average",
+        x_values=("mean over 10 graphs",),
+        series=means,
+        notes=f"DFG Type-{dfg_type}, α={apt_alpha}, {rate_gbps} GB/s. Milliseconds.",
+    )
+
+
+def figure6(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    rate_gbps: float = 4.0,
+) -> FigureResult:
+    """Figure 6: mean makespan of the top-4 policies, DFG Type-1, α=1.5."""
+    return _top4_figure(
+        "Figure 6 — Avg execution time, top-4 policies, DFG Type-1 (α=1.5)",
+        dfg_type=1,
+        runner=runner,
+        seed=seed,
+        apt_alpha=1.5,
+        rate_gbps=rate_gbps,
+    )
+
+
+def figure8_top4(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    rate_gbps: float = 4.0,
+) -> FigureResult:
+    """Figure 8 (bar chart): mean makespan of top-4, DFG Type-2, α=1.5."""
+    return _top4_figure(
+        "Figure 8 — Avg execution time, top-4 policies, DFG Type-2 (α=1.5)",
+        dfg_type=2,
+        runner=runner,
+        seed=seed,
+        apt_alpha=1.5,
+        rate_gbps=rate_gbps,
+    )
+
+
+def _alpha_rate_figure(
+    title: str,
+    dfg_type: int,
+    metric: str,
+    runner: ExperimentRunner | None,
+    seed: int,
+    alphas: tuple[float, ...],
+    rates: tuple[float, ...],
+) -> FigureResult:
+    runner = runner if runner is not None else ExperimentRunner()
+    suite = paper_suite(dfg_type, seed)
+    sweep = runner.alpha_sweep(suite, alphas=alphas, rates=rates)
+    series: dict[str, tuple[float, ...]] = {}
+    for rate in rates:
+        values = []
+        for alpha in alphas:
+            recs = sweep[(alpha, rate)]
+            vals = (
+                [r.makespan for r in recs]
+                if metric == "makespan"
+                else [r.total_lambda for r in recs]
+            )
+            values.append(runner.mean(vals))
+        series[f"{rate:g} GBps"] = tuple(values)
+    return FigureResult(
+        title=title,
+        x_label="alpha",
+        x_values=alphas,
+        series=series,
+        notes=f"DFG Type-{dfg_type}; mean over 10 graphs, milliseconds.",
+    )
+
+
+def figure7(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    rates: tuple[float, ...] = PAPER_RATES_GBPS,
+) -> FigureResult:
+    """Figure 7: APT mean makespan vs α and transfer rate, DFG Type-1."""
+    return _alpha_rate_figure(
+        "Figure 7 — APT avg execution time vs α and transfer rate, DFG Type-1",
+        dfg_type=1,
+        metric="makespan",
+        runner=runner,
+        seed=seed,
+        alphas=alphas,
+        rates=rates,
+    )
+
+
+def figure9(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    rates: tuple[float, ...] = PAPER_RATES_GBPS,
+) -> FigureResult:
+    """Figure 9: APT mean makespan vs α and transfer rate, DFG Type-2."""
+    return _alpha_rate_figure(
+        "Figure 9 — APT avg execution time vs α and transfer rate, DFG Type-2",
+        dfg_type=2,
+        metric="makespan",
+        runner=runner,
+        seed=seed,
+        alphas=alphas,
+        rates=rates,
+    )
+
+
+def figure10_apt_vs_met(
+    dfg_type: int = 2,
+    alpha: float = 4.0,
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    rate_gbps: float = 4.0,
+) -> FigureResult:
+    """Figures 8/10 (per-experiment): APT(α=4) vs MET makespans per graph."""
+    runner = runner if runner is not None else ExperimentRunner()
+    suite = paper_suite(dfg_type, seed)
+    apt = runner.run_suite(suite, "apt", rate_gbps, alpha)
+    met = runner.run_suite(suite, "met", rate_gbps)
+    return FigureResult(
+        title=(
+            f"Figure 10 — Execution time per experiment, MET vs APT (α={alpha}), "
+            f"DFG Type-{dfg_type}"
+        ),
+        x_label="experiment",
+        x_values=tuple(range(1, len(suite) + 1)),
+        series={
+            "APT": tuple(r.makespan for r in apt),
+            "MET": tuple(r.makespan for r in met),
+        },
+        notes=f"{rate_gbps} GB/s links, milliseconds.",
+    )
+
+
+def figure11(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    rates: tuple[float, ...] = PAPER_RATES_GBPS,
+) -> FigureResult:
+    """Figure 11: APT mean total λ delay vs α and rate, DFG Type-1."""
+    return _alpha_rate_figure(
+        "Figure 11 — APT avg λ delay vs α and transfer rate, DFG Type-1",
+        dfg_type=1,
+        metric="lambda",
+        runner=runner,
+        seed=seed,
+        alphas=alphas,
+        rates=rates,
+    )
+
+
+def figure12(
+    runner: ExperimentRunner | None = None,
+    seed: int = DEFAULT_SEED,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    rates: tuple[float, ...] = PAPER_RATES_GBPS,
+) -> FigureResult:
+    """Figure 12: APT mean total λ delay vs α and rate, DFG Type-2."""
+    return _alpha_rate_figure(
+        "Figure 12 — APT avg λ delay vs α and transfer rate, DFG Type-2",
+        dfg_type=2,
+        metric="lambda",
+        runner=runner,
+        seed=seed,
+        alphas=alphas,
+        rates=rates,
+    )

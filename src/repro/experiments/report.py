@@ -1,0 +1,91 @@
+"""Plain-text rendering of reproduced tables and figures.
+
+Everything the harness produces is a :class:`TableResult` (rows of cells)
+or a :class:`FigureResult` (named numeric series).  Rendering is pure
+text — this library targets headless benchmark runs, not notebooks — and
+benchmark modules print these next to the thesis's reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A reproduced thesis table."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    notes: str = ""
+
+    def column(self, header: str) -> list[object]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A reproduced thesis figure: labelled numeric series over x points."""
+
+    title: str
+    x_label: str
+    x_values: tuple[object, ...]
+    series: Mapping[str, tuple[float, ...]]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(self.x_values)} x values"
+                )
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.1f}" if abs(cell) >= 100 else f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(table: TableResult) -> str:
+    """Aligned monospace rendering with the title and notes."""
+    cells = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(table.headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * len(table.title)]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(table.headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if table.notes:
+        lines += ["", table.notes]
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureResult, width: int = 50) -> str:
+    """Text rendering: one horizontal bar per (x, series) point."""
+    lines = [figure.title, "=" * len(figure.title)]
+    all_vals = [v for vals in figure.series.values() for v in vals]
+    vmax = max(all_vals) if all_vals else 1.0
+    name_w = max((len(n) for n in figure.series), default=4)
+    x_w = max((len(str(x)) for x in figure.x_values), default=1)
+    for i, x in enumerate(figure.x_values):
+        for name, values in figure.series.items():
+            v = values[i]
+            bar = "#" * max(1, int(v / vmax * width)) if vmax > 0 else ""
+            lines.append(
+                f"{figure.x_label}={str(x):<{x_w}}  {name:<{name_w}}  "
+                f"{bar} {v:,.1f}"
+            )
+        if len(figure.series) > 1:
+            lines.append("")
+    if figure.notes:
+        lines.append(figure.notes)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Structural and performance analysis of DFGs.
+
+Provides the standard DAG-scheduling quantities: levels, parallelism
+profile, critical path (best-case weighted), and simple makespan lower
+bounds used to sanity-check simulation results in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.lookup import LookupTable
+from repro.core.system import SystemConfig
+from repro.graphs.dfg import DFG
+
+
+def levels(dfg: DFG) -> dict[int, int]:
+    """Longest-path level of each kernel (entry kernels are level 0)."""
+    out: dict[int, int] = {}
+    for kid in dfg.topological_order():
+        preds = dfg.predecessors(kid)
+        out[kid] = 0 if not preds else 1 + max(out[p] for p in preds)
+    return out
+
+
+def parallelism_profile(dfg: DFG) -> list[int]:
+    """Kernels per level — the graph's width profile.
+
+    ``parallelism_profile(type1)[0] == n - 1`` for a Type-1 graph.
+    """
+    lv = levels(dfg)
+    if not lv:
+        return []
+    width = [0] * (max(lv.values()) + 1)
+    for layer in lv.values():
+        width[layer] += 1
+    return width
+
+
+def _best_time(dfg: DFG, kid: int, lookup: LookupTable, system: SystemConfig) -> float:
+    spec = dfg.spec(kid)
+    return lookup.best_processor(spec.kernel, spec.data_size, system.processor_types())[1]
+
+
+def critical_path(
+    dfg: DFG, lookup: LookupTable, system: SystemConfig
+) -> tuple[list[int], float]:
+    """The best-case-weighted critical path: node sequence and its length.
+
+    Each kernel is weighted by its *minimum* execution time across the
+    system's processor types (transfers ignored), so the returned length
+    is a genuine makespan lower bound.
+    """
+    if dfg.is_empty():
+        return [], 0.0
+    dist: dict[int, float] = {}
+    via: dict[int, int | None] = {}
+    for kid in dfg.topological_order():
+        w = _best_time(dfg, kid, lookup, system)
+        preds = dfg.predecessors(kid)
+        if not preds:
+            dist[kid], via[kid] = w, None
+        else:
+            best_pred = max(preds, key=lambda p: dist[p])
+            dist[kid], via[kid] = dist[best_pred] + w, best_pred
+    end = max(dist, key=lambda k: dist[k])
+    path = [end]
+    while via[path[-1]] is not None:
+        path.append(via[path[-1]])  # type: ignore[arg-type]
+    path.reverse()
+    return path, dist[end]
+
+
+def critical_path_length(dfg: DFG, lookup: LookupTable, system: SystemConfig) -> float:
+    """Length of the best-case critical path (a makespan lower bound)."""
+    return critical_path(dfg, lookup, system)[1]
+
+
+def sequential_time(dfg: DFG, lookup: LookupTable, system: SystemConfig) -> float:
+    """Total best-case work: sum of minimum execution times of all kernels.
+
+    Executing everything serially on each kernel's favourite processor
+    would take this long; it upper-bounds useful work and
+    ``sequential_time / n_processors`` lower-bounds any schedule.
+    """
+    return sum(_best_time(dfg, k, lookup, system) for k in dfg.kernel_ids())
+
+
+def lower_bound_makespan(dfg: DFG, lookup: LookupTable, system: SystemConfig) -> float:
+    """A simple makespan lower bound: max(critical path, work / #procs).
+
+    Both terms use best-case (minimum) execution times and ignore
+    transfers, so no feasible schedule can beat this.
+    """
+    if dfg.is_empty():
+        return 0.0
+    cp = critical_path_length(dfg, lookup, system)
+    area = sequential_time(dfg, lookup, system) / len(system)
+    return max(cp, area)
+
+
+def summarize(dfg: DFG) -> dict[str, object]:
+    """A compact structural summary (used by the CLI and reports)."""
+    profile = parallelism_profile(dfg)
+    return {
+        "name": dfg.name,
+        "kernels": len(dfg),
+        "edges": dfg.n_edges,
+        "depth": len(profile),
+        "max_width": max(profile) if profile else 0,
+        "kernel_mix": dfg.subgraph_counts(),
+    }

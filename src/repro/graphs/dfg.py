@@ -1,0 +1,178 @@
+"""The kernel dataflow graph (DFG).
+
+The thesis models an application stream as ``G = (V, E)`` where ``V`` is a
+set of kernels — each with a kernel type (e.g. ``"bfs"``) and a data size —
+and ``E`` captures data/computational dependencies (§2.5.1).  Kernel ids
+double as arrival order: dynamic schedulers fill their ready queue
+"on [a] first-come, first-serve basis" (§3.1), which we realize as
+ascending kernel id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel instance in a DFG.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel type name; must match a lookup-table kernel (e.g. ``"bfs"``,
+        ``"matmul"``).
+    data_size:
+        Problem size in elements; used both for the lookup-table query and
+        for transfer-time computation (bytes = size × element_size).
+    """
+
+    kernel: str
+    data_size: int
+
+    def __post_init__(self) -> None:
+        if not self.kernel:
+            raise ValueError("kernel name must be non-empty")
+        if self.data_size <= 0:
+            raise ValueError(f"data_size must be positive, got {self.data_size}")
+
+
+class DFG:
+    """A directed acyclic graph of kernels.
+
+    Nodes are integer kernel ids (arrival order); each carries a
+    :class:`KernelSpec`.  Edges are dependencies: ``u -> v`` means ``v``
+    consumes ``u``'s output and cannot start before ``u`` completes.
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self._g = nx.DiGraph()
+        self.name = name
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_kernel(self, spec: KernelSpec, kid: int | None = None) -> int:
+        """Add a kernel; returns its id.
+
+        If ``kid`` is omitted, ids are assigned sequentially (arrival
+        order).  Explicit ids must not collide with existing nodes.
+        """
+        if kid is None:
+            kid = self._next_id
+        if kid in self._g:
+            raise ValueError(f"kernel id {kid} already present")
+        if kid < 0:
+            raise ValueError(f"kernel ids must be non-negative, got {kid}")
+        self._g.add_node(kid, spec=spec)
+        self._next_id = max(self._next_id, kid + 1)
+        return kid
+
+    def add_dependency(self, src: int, dst: int) -> None:
+        """Declare that ``dst`` depends on (consumes output of) ``src``."""
+        if src not in self._g or dst not in self._g:
+            raise KeyError(f"both endpoints must exist: {(src, dst)}")
+        if src == dst:
+            raise ValueError(f"self-dependency on kernel {src}")
+        self._g.add_edge(src, dst)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(src, dst)
+            raise ValueError(f"edge {(src, dst)} would create a cycle")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def spec(self, kid: int) -> KernelSpec:
+        return self._g.nodes[kid]["spec"]
+
+    def kernel_ids(self) -> list[int]:
+        """All kernel ids in arrival (ascending id) order."""
+        return sorted(self._g.nodes)
+
+    def predecessors(self, kid: int) -> list[int]:
+        return sorted(self._g.predecessors(kid))
+
+    def successors(self, kid: int) -> list[int]:
+        return sorted(self._g.successors(kid))
+
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted(self._g.edges)
+
+    def entry_kernels(self) -> list[int]:
+        """Kernels with no dependencies (ready at time zero)."""
+        return sorted(k for k in self._g.nodes if self._g.in_degree(k) == 0)
+
+    def exit_kernels(self) -> list[int]:
+        """Kernels nothing depends on."""
+        return sorted(k for k in self._g.nodes if self._g.out_degree(k) == 0)
+
+    def topological_order(self) -> list[int]:
+        """A deterministic topological order (lexicographic tie-break)."""
+        return list(nx.lexicographical_topological_sort(self._g))
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def __contains__(self, kid: int) -> bool:
+        return kid in self._g
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.kernel_ids())
+
+    @property
+    def n_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise ValueError("DFG contains a cycle")
+        for kid in self._g.nodes:
+            if "spec" not in self._g.nodes[kid]:
+                raise ValueError(f"kernel {kid} has no spec attached")
+
+    def as_networkx(self) -> nx.DiGraph:
+        """A *copy* of the underlying networkx graph."""
+        return self._g.copy()
+
+    # ------------------------------------------------------------------
+    def subgraph_counts(self) -> dict[str, int]:
+        """Count kernel instances by kernel type (for workload summaries)."""
+        counts: dict[str, int] = {}
+        for kid in self._g.nodes:
+            counts[self.spec(kid).kernel] = counts.get(self.spec(kid).kernel, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def copy(self, name: str | None = None) -> "DFG":
+        out = DFG(name or self.name)
+        for kid in self.kernel_ids():
+            out.add_kernel(self.spec(kid), kid=kid)
+        for u, v in self.edges():
+            out.add_dependency(u, v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DFG({self.name!r}, kernels={len(self)}, edges={self.n_edges})"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kernels(
+        cls,
+        specs: Iterable[KernelSpec],
+        dependencies: Iterable[tuple[int, int]] = (),
+        name: str = "dfg",
+    ) -> "DFG":
+        """Convenience constructor: kernels in arrival order plus edges."""
+        dfg = cls(name)
+        for spec in specs:
+            dfg.add_kernel(spec)
+        for u, v in dependencies:
+            dfg.add_dependency(u, v)
+        return dfg

@@ -1,0 +1,103 @@
+"""Kernel abstraction: runnable, verifiable units of computation.
+
+Each kernel of thesis Table 5 is implemented against this interface so it
+can be (a) executed as a real computation in the example applications and
+(b) timed by :mod:`repro.kernels.calibration` to build lookup tables.
+
+A kernel's *data size* follows the thesis's convention: the number of
+elements in its primary input (e.g. a 836×836 matrix has data size
+836² = 698 896 — the paper's own worked example).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.dwarfs import Dwarf
+
+
+class Kernel(abc.ABC):
+    """A runnable kernel with input generation and result verification."""
+
+    #: lookup-table kernel name (e.g. ``"matmul"``).
+    name: str = "kernel"
+    #: Berkeley dwarf class of this kernel.
+    dwarf: Dwarf
+
+    @abc.abstractmethod
+    def prepare(self, data_size: int, rng: np.random.Generator) -> dict[str, Any]:
+        """Generate an input instance of the given data size.
+
+        Returns the keyword arguments for :meth:`run`.  Raises
+        ``ValueError`` for sizes the kernel cannot realize (e.g. a matrix
+        kernel needs a perfect-square element count).
+        """
+
+    @abc.abstractmethod
+    def run(self, **inputs: Any) -> Any:
+        """Execute the kernel on prepared inputs and return its output."""
+
+    @abc.abstractmethod
+    def verify(self, output: Any, **inputs: Any) -> bool:
+        """Check that ``output`` is a correct result for ``inputs``."""
+
+    # ------------------------------------------------------------------
+    def execute(self, data_size: int, rng: np.random.Generator) -> Any:
+        """Convenience: prepare + run in one call."""
+        return self.run(**self.prepare(data_size, rng))
+
+    @staticmethod
+    def square_side(data_size: int) -> int:
+        """Side length for matrix kernels; validates perfect squares.
+
+        The thesis sizes matrix kernels by element count (836×836 →
+        698 896); non-square counts are rejected rather than silently
+        rounded.
+        """
+        side = int(round(data_size**0.5))
+        if side * side != data_size:
+            raise ValueError(
+                f"matrix kernels need a square element count, got {data_size}"
+            )
+        return side
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, dwarf={self.dwarf.value!r})"
+
+
+class KernelRegistry:
+    """Name → kernel instance registry (used by the calibrator and examples)."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, Kernel] = {}
+
+    def register(self, kernel: Kernel) -> Kernel:
+        if kernel.name in self._kernels:
+            raise ValueError(f"kernel {kernel.name!r} already registered")
+        self._kernels[kernel.name] = kernel
+        return kernel
+
+    def get(self, name: str) -> Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {name!r}; known: {', '.join(sorted(self._kernels))}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._kernels))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+
+#: The default registry, populated by each kernel module at import time
+#: (see :mod:`repro.kernels.__init__`).
+kernel_registry = KernelRegistry()

@@ -1,0 +1,169 @@
+"""Calibration: measure real kernels and build a fresh lookup table.
+
+The thesis's lookup table came from measurements on physical CPU/GPU/FPGA
+testbeds (Table 6).  We cannot assume those devices exist, so this module
+makes the substitution explicit:
+
+* the **CPU column** is measured for real, by timing the numpy kernels of
+  this package on the host;
+* the **GPU/FPGA columns** are synthesized from the CPU measurement via a
+  :class:`SpeedupModel` — per-kernel speedup factors, defaulting to the
+  ratios implied by the thesis's own Table 14 (e.g. BFS runs 332/106 ≈
+  3.1× faster on the FPGA than the CPU).
+
+This preserves the property the scheduling experiments actually depend on
+— the *relative* heterogeneity structure across platforms — while keeping
+the CPU numbers honest for the machine at hand.  Users with real
+accelerators can measure their own columns and merge tables instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.lookup import LookupEntry, LookupTable
+from repro.core.system import ProcessorType
+from repro.data.paper_tables import paper_lookup_table
+from repro.kernels.base import Kernel, KernelRegistry, kernel_registry
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Timing measurement of one kernel at one data size on the host CPU."""
+
+    kernel: str
+    data_size: int
+    times_ms: tuple[float, ...]
+
+    @property
+    def median_ms(self) -> float:
+        return float(np.median(self.times_ms))
+
+    @property
+    def mean_ms(self) -> float:
+        return float(np.mean(self.times_ms))
+
+    @property
+    def stddev_ms(self) -> float:
+        return float(np.std(self.times_ms))
+
+
+class SpeedupModel:
+    """Per-kernel CPU→other-platform speedup factors.
+
+    ``factors[kernel][ptype]`` multiplies *throughput*: a factor of 3 means
+    the platform is 3× faster than the CPU for that kernel (time / 3).
+    """
+
+    def __init__(self, factors: dict[str, dict[ProcessorType, float]]) -> None:
+        for kernel, by_ptype in factors.items():
+            for ptype, f in by_ptype.items():
+                if f <= 0:
+                    raise ValueError(
+                        f"speedup factor must be positive for {kernel}/{ptype}: {f}"
+                    )
+        self._factors = {k: dict(v) for k, v in factors.items()}
+
+    def time_on(self, kernel: str, ptype: ProcessorType, cpu_time_ms: float) -> float:
+        if ptype == ProcessorType.CPU:
+            return cpu_time_ms
+        try:
+            return cpu_time_ms / self._factors[kernel][ptype]
+        except KeyError:
+            raise KeyError(f"no speedup factor for kernel={kernel!r} on {ptype}") from None
+
+    @classmethod
+    def from_paper_ratios(cls) -> "SpeedupModel":
+        """Speedups implied by the thesis's own Table 14 (geometric mean
+        across data sizes of CPU-time / platform-time per kernel)."""
+        table = paper_lookup_table()
+        factors: dict[str, dict[ProcessorType, float]] = {}
+        for kernel in table.kernels:
+            sizes = table.sizes_for(kernel, ProcessorType.CPU)
+            factors[kernel] = {}
+            for ptype in (ProcessorType.GPU, ProcessorType.FPGA):
+                ratios = [
+                    table.time(kernel, s, ProcessorType.CPU) / table.time(kernel, s, ptype)
+                    for s in sizes
+                ]
+                factors[kernel][ptype] = float(np.exp(np.mean(np.log(ratios))))
+        return cls(factors)
+
+
+class Calibrator:
+    """Times kernels on the host and assembles lookup tables.
+
+    Parameters
+    ----------
+    registry:
+        Kernel implementations to draw from (default: the package registry).
+    repeats:
+        Timing repetitions per point; the median is reported.
+    warmup:
+        Untimed warm-up runs per point (JIT/caches/first-touch effects).
+    seed:
+        Seed for input generation.
+    """
+
+    def __init__(
+        self,
+        registry: KernelRegistry = kernel_registry,
+        repeats: int = 3,
+        warmup: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if repeats < 1 or warmup < 0:
+            raise ValueError("repeats must be >= 1 and warmup >= 0")
+        self.registry = registry
+        self.repeats = repeats
+        self.warmup = warmup
+        self.seed = seed
+
+    def measure(self, kernel_name: str, data_size: int) -> CalibrationResult:
+        """Time one kernel at one data size (median of ``repeats`` runs)."""
+        kernel = self.registry.get(kernel_name)
+        rng = np.random.default_rng(self.seed)
+        inputs = kernel.prepare(data_size, rng)
+        for _ in range(self.warmup):
+            kernel.run(**inputs)
+        times: list[float] = []
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            kernel.run(**inputs)
+            times.append((time.perf_counter() - t0) * 1e3)
+        return CalibrationResult(kernel_name, data_size, tuple(times))
+
+    def calibrate(
+        self,
+        sizes_by_kernel: dict[str, Sequence[int]],
+        speedup_model: SpeedupModel | None = None,
+        ptypes: Iterable[ProcessorType] = (
+            ProcessorType.CPU,
+            ProcessorType.GPU,
+            ProcessorType.FPGA,
+        ),
+    ) -> LookupTable:
+        """Measure all requested points and build a LookupTable.
+
+        Non-CPU columns are synthesized through ``speedup_model``
+        (default: the thesis's Table 14 ratios — see module docstring).
+        """
+        model = speedup_model or SpeedupModel.from_paper_ratios()
+        entries: list[LookupEntry] = []
+        for kernel_name, sizes in sorted(sizes_by_kernel.items()):
+            for size in sizes:
+                res = self.measure(kernel_name, size)
+                for ptype in ptypes:
+                    entries.append(
+                        LookupEntry(
+                            kernel_name,
+                            size,
+                            ptype,
+                            max(1e-6, model.time_on(kernel_name, ptype, res.median_ms)),
+                        )
+                    )
+        return LookupTable(entries)

@@ -1,0 +1,45 @@
+"""Cholesky decomposition (dense linear algebra dwarf).
+
+The thesis (eq. (9)) uses the upper-triangular convention: for a positive
+definite A, find U with positive diagonal such that A = Uᵀ·U.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import Kernel, kernel_registry
+from repro.kernels.dwarfs import Dwarf
+
+
+class CholeskyKernel(Kernel):
+    """Upper-triangular Cholesky factor of a random SPD matrix."""
+
+    name = "cholesky"
+    dwarf = Dwarf.DENSE_LINEAR_ALGEBRA
+
+    def prepare(self, data_size: int, rng: np.random.Generator) -> dict[str, Any]:
+        side = self.square_side(data_size)
+        m = rng.standard_normal((side, side))
+        # MᵀM is PSD; the ridge makes it safely positive definite.
+        a = m.T @ m + side * np.eye(side)
+        return {"a": a}
+
+    def run(self, a: np.ndarray) -> np.ndarray:
+        # numpy returns the lower factor L with A = L·Lᵀ; U = Lᵀ gives the
+        # thesis's A = Uᵀ·U convention.
+        return np.linalg.cholesky(a).T
+
+    def verify(self, output: np.ndarray, a: np.ndarray) -> bool:
+        if output.shape != a.shape:
+            return False
+        upper = bool(np.allclose(output, np.triu(output)))
+        positive_diag = bool(np.all(np.diag(output) > 0))
+        scale = max(1.0, float(np.max(np.abs(a))))
+        reconstructs = bool(np.allclose(output.T @ output, a, atol=1e-8 * scale))
+        return upper and positive_diag and reconstructs
+
+
+kernel_registry.register(CholeskyKernel())

@@ -1,0 +1,106 @@
+"""The thirteen Berkeley dwarfs (Asanović et al., 2006; thesis §2.4).
+
+A *dwarf* is "an algorithmic method that captures a pattern of computation
+and communication".  The thesis classifies each workload kernel by dwarf
+(Table 5) and tabulates applications against dwarfs (Table 1); this module
+encodes that taxonomy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Dwarf(str, Enum):
+    """The 13 dwarfs; the starred six were added by Asanović et al."""
+
+    DENSE_LINEAR_ALGEBRA = "dense_linear_algebra"
+    SPARSE_LINEAR_ALGEBRA = "sparse_linear_algebra"
+    SPECTRAL_METHODS = "spectral_methods"
+    N_BODY = "n_body"
+    STRUCTURED_GRIDS = "structured_grids"
+    UNSTRUCTURED_GRIDS = "unstructured_grids"
+    MAP_REDUCE = "map_reduce"
+    COMBINATIONAL_LOGIC = "combinational_logic"  # *
+    GRAPH_TRAVERSAL = "graph_traversal"  # *
+    DYNAMIC_PROGRAMMING = "dynamic_programming"  # *
+    BACKTRACK_BRANCH_AND_BOUND = "backtrack_branch_and_bound"  # *
+    GRAPHICAL_MODELS = "graphical_models"  # *
+    FINITE_STATE_MACHINES = "finite_state_machines"  # *
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+DWARF_DESCRIPTIONS: dict[Dwarf, str] = {
+    Dwarf.DENSE_LINEAR_ALGEBRA: (
+        "Vector and matrix operations in BLAS levels 1 (vector/vector), "
+        "2 (matrix/vector) and 3 (matrix/matrix)."
+    ),
+    Dwarf.SPARSE_LINEAR_ALGEBRA: (
+        "Linear algebra on matrices with many zero entries stored in "
+        "compressed structures."
+    ),
+    Dwarf.SPECTRAL_METHODS: (
+        "Computation in a spectral domain, typically reached via an FFT."
+    ),
+    Dwarf.N_BODY: "Interactions among many discrete points (particle methods).",
+    Dwarf.STRUCTURED_GRIDS: (
+        "Regular multidimensional grids updated stepwise from point neighborhoods."
+    ),
+    Dwarf.UNSTRUCTURED_GRIDS: (
+        "Irregular grids where updates touch irregular neighbor sets."
+    ),
+    Dwarf.MAP_REDUCE: (
+        "Repeated independent execution of a function with aggregated results "
+        "(née 'Monte Carlo')."
+    ),
+    Dwarf.COMBINATIONAL_LOGIC: (
+        "Simple logical operations exploiting bit-level parallelism over large data."
+    ),
+    Dwarf.GRAPH_TRAVERSAL: (
+        "Visiting many objects in a graph with little per-object computation."
+    ),
+    Dwarf.DYNAMIC_PROGRAMMING: (
+        "Solving a problem by combining solutions of overlapping subproblems."
+    ),
+    Dwarf.BACKTRACK_BRANCH_AND_BOUND: (
+        "Search/optimization by divide-and-conquer with pruning rules."
+    ),
+    Dwarf.GRAPHICAL_MODELS: (
+        "Graphs of random variables with conditional-probability edges."
+    ),
+    Dwarf.FINITE_STATE_MACHINES: (
+        "Systems of connected states with input-driven transitions."
+    ),
+}
+
+#: Thesis Table 1 — application → dwarfs membership.
+_APPLICATION_DWARFS: dict[str, tuple[Dwarf, ...]] = {
+    "needleman_wunsch": (Dwarf.DYNAMIC_PROGRAMMING,),
+    "matrix_inverse": (Dwarf.DENSE_LINEAR_ALGEBRA,),
+    "gem": (Dwarf.N_BODY,),
+    "cholesky_decomposition": (Dwarf.DENSE_LINEAR_ALGEBRA,),
+    "bfs": (Dwarf.GRAPH_TRAVERSAL,),
+    "matrix_matrix_multiplication": (Dwarf.DENSE_LINEAR_ALGEBRA,),
+    "srad": (Dwarf.STRUCTURED_GRIDS,),
+    "lavamd": (Dwarf.N_BODY,),
+    "hotspot": (Dwarf.STRUCTURED_GRIDS,),
+    "backpropagation": (Dwarf.DENSE_LINEAR_ALGEBRA, Dwarf.UNSTRUCTURED_GRIDS),
+    "fft": (Dwarf.SPECTRAL_METHODS,),
+}
+
+
+def dwarfs_of_application(application: str) -> tuple[Dwarf, ...]:
+    """The dwarfs found in a (Table 1) application.
+
+    >>> dwarfs_of_application("bfs")
+    (<Dwarf.GRAPH_TRAVERSAL: 'graph_traversal'>,)
+    """
+    key = application.lower()
+    if key not in _APPLICATION_DWARFS:
+        raise KeyError(
+            f"unknown application {application!r}; known: "
+            f"{', '.join(sorted(_APPLICATION_DWARFS))}"
+        )
+    return _APPLICATION_DWARFS[key]

@@ -1,0 +1,87 @@
+"""GEM — Gaussian Electrostatic Model (N-body dwarf).
+
+"GEM calculates the electrostatic potential of a biomolecule as the sum
+of charges contributed by all atoms … owing to their interaction with a
+surface vertex (two sets of bodies)" (thesis §3.2).  Data size is the
+number of atom–vertex interactions ``n_atoms × n_vertices``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import Kernel, kernel_registry
+from repro.kernels.dwarfs import Dwarf
+
+
+def gem_potential_reference(
+    atoms: np.ndarray, charges: np.ndarray, vertices: np.ndarray
+) -> np.ndarray:
+    """Double-loop oracle for the potential sum (verification only)."""
+    out = np.zeros(len(vertices))
+    for vi, v in enumerate(vertices):
+        for a, q in zip(atoms, charges):
+            out[vi] += q / np.linalg.norm(v - a)
+    return out
+
+
+class GEMKernel(Kernel):
+    """Coulomb potential of atom charges at molecular-surface vertices."""
+
+    name = "gem"
+    dwarf = Dwarf.N_BODY
+
+    #: Minimum atom-vertex separation enforced by the instance generator,
+    #: keeping 1/r bounded (surface vertices sit off the atom cloud).
+    MIN_SEPARATION = 0.5
+
+    def prepare(self, data_size: int, rng: np.random.Generator) -> dict[str, Any]:
+        if data_size < 1:
+            raise ValueError("data_size must be >= 1")
+        n_vertices = max(1, int(round(data_size**0.5)))
+        n_atoms = max(1, data_size // n_vertices)
+        # Atoms inside a unit ball; surface vertices on a radius-2 sphere.
+        atoms = rng.standard_normal((n_atoms, 3))
+        atoms /= np.maximum(np.linalg.norm(atoms, axis=1, keepdims=True), 1e-9)
+        atoms *= rng.random((n_atoms, 1)) ** (1 / 3)
+        verts = rng.standard_normal((n_vertices, 3))
+        verts /= np.maximum(np.linalg.norm(verts, axis=1, keepdims=True), 1e-9)
+        verts *= 2.0
+        charges = rng.choice([-1.0, 1.0], size=n_atoms) * rng.random(n_atoms)
+        return {"atoms": atoms, "charges": charges, "vertices": verts}
+
+    def run(
+        self, atoms: np.ndarray, charges: np.ndarray, vertices: np.ndarray
+    ) -> np.ndarray:
+        # Blocked pairwise distances keep memory bounded on big instances.
+        out = np.zeros(len(vertices))
+        block = max(1, 2**22 // max(1, len(atoms)))  # ~32 MB of float64 per block
+        for start in range(0, len(vertices), block):
+            v = vertices[start : start + block]
+            diff = v[:, None, :] - atoms[None, :, :]
+            dist = np.sqrt(np.sum(diff * diff, axis=2))
+            out[start : start + block] = (charges[None, :] / dist).sum(axis=1)
+        return out
+
+    def verify(
+        self,
+        output: np.ndarray,
+        atoms: np.ndarray,
+        charges: np.ndarray,
+        vertices: np.ndarray,
+    ) -> bool:
+        if output.shape != (len(vertices),):
+            return False
+        if not np.all(np.isfinite(output)):
+            return False
+        if len(atoms) * len(vertices) <= 65_536:
+            ref = gem_potential_reference(atoms, charges, vertices)
+            return bool(np.allclose(output, ref, atol=1e-9))
+        # Large instances: |potential| is bounded by Σ|q| / min distance.
+        bound = np.sum(np.abs(charges)) / self.MIN_SEPARATION
+        return bool(np.all(np.abs(output) <= bound))
+
+
+kernel_registry.register(GEMKernel())

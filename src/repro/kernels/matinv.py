@@ -1,0 +1,41 @@
+"""Matrix inversion (dense linear algebra dwarf).
+
+Inverts a well-conditioned square matrix; data size is the element count
+(the thesis's 836×836 example is data size 698 896).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import Kernel, kernel_registry
+from repro.kernels.dwarfs import Dwarf
+
+
+class MatInvKernel(Kernel):
+    """A⁻¹ for a diagonally dominated (hence invertible) square matrix."""
+
+    name = "matinv"
+    dwarf = Dwarf.DENSE_LINEAR_ALGEBRA
+
+    def prepare(self, data_size: int, rng: np.random.Generator) -> dict[str, Any]:
+        side = self.square_side(data_size)
+        a = rng.standard_normal((side, side))
+        # Diagonal dominance keeps the instance comfortably invertible.
+        a[np.diag_indices(side)] += side
+        return {"a": a}
+
+    def run(self, a: np.ndarray) -> np.ndarray:
+        return np.linalg.inv(a)
+
+    def verify(self, output: np.ndarray, a: np.ndarray) -> bool:
+        """A · A⁻¹ ≈ I (eq. (10) of the thesis)."""
+        if output.shape != a.shape:
+            return False
+        ident = a @ output
+        return bool(np.allclose(ident, np.eye(a.shape[0]), atol=1e-6))
+
+
+kernel_registry.register(MatInvKernel())

@@ -1,0 +1,46 @@
+"""Matrix–matrix multiplication (dense linear algebra dwarf).
+
+"One of the most highly used kernels in a variety of domains including
+image processing, machine learning, computer vision …" (thesis §3.2).
+Data size is the element count of each square operand.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import Kernel, kernel_registry
+from repro.kernels.dwarfs import Dwarf
+
+
+class MatMulKernel(Kernel):
+    """C = A·B for square float64 matrices."""
+
+    name = "matmul"
+    dwarf = Dwarf.DENSE_LINEAR_ALGEBRA
+
+    def prepare(self, data_size: int, rng: np.random.Generator) -> dict[str, Any]:
+        side = self.square_side(data_size)
+        return {
+            "a": rng.standard_normal((side, side)),
+            "b": rng.standard_normal((side, side)),
+        }
+
+    def run(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def verify(self, output: np.ndarray, a: np.ndarray, b: np.ndarray) -> bool:
+        """Freivalds' check: A(Bx) == Cx for random x — O(n²), not O(n³)."""
+        if output.shape != (a.shape[0], b.shape[1]):
+            return False
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(b.shape[1])
+        lhs = a @ (b @ x)
+        rhs = output @ x
+        scale = max(1.0, float(np.max(np.abs(rhs))))
+        return bool(np.allclose(lhs, rhs, atol=1e-6 * scale))
+
+
+kernel_registry.register(MatMulKernel())

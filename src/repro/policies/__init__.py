@@ -1,0 +1,67 @@
+"""Scheduling policies: APT (the contribution) plus all thesis baselines.
+
+Dynamic: :class:`APT`, :class:`APT_RT`, :class:`MET`, :class:`SPN`,
+:class:`SS`, :class:`AG`, :class:`OLB`, :class:`RandomPolicy`.
+Static: :class:`HEFT`, :class:`PEFT`.
+"""
+
+from repro.policies.base import (
+    Assignment,
+    DynamicPolicy,
+    Policy,
+    ProcessorView,
+    SchedulingContext,
+    StaticPlan,
+    StaticPolicy,
+)
+from repro.policies.apt import APT
+from repro.policies.apt_rt import APT_RT
+from repro.policies.met import MET
+from repro.policies.spn import SPN
+from repro.policies.ss import SS
+from repro.policies.ag import AG
+from repro.policies.heft import HEFT, upward_rank, downward_rank
+from repro.policies.peft import PEFT, optimistic_cost_table, rank_oct
+from repro.policies.olb import OLB
+from repro.policies.batch_mode import MinMin, MaxMin, Sufferage
+from repro.policies.cpop import CPOP, critical_path_kernels
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.registry import (
+    PAPER_POLICIES,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+
+__all__ = [
+    "Assignment",
+    "DynamicPolicy",
+    "Policy",
+    "ProcessorView",
+    "SchedulingContext",
+    "StaticPlan",
+    "StaticPolicy",
+    "APT",
+    "APT_RT",
+    "MET",
+    "SPN",
+    "SS",
+    "AG",
+    "HEFT",
+    "PEFT",
+    "OLB",
+    "RandomPolicy",
+    "MinMin",
+    "MaxMin",
+    "Sufferage",
+    "CPOP",
+    "critical_path_kernels",
+    "upward_rank",
+    "downward_rank",
+    "optimistic_cost_table",
+    "rank_oct",
+    "PAPER_POLICIES",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+]

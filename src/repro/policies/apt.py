@@ -1,0 +1,107 @@
+"""APT — Alternative Processor within Threshold (the thesis's contribution).
+
+APT (Algorithm 1, §3.1) is a dynamic heuristic that adds *flexibility* to
+MET.  For each ready kernel (FCFS):
+
+1. find ``p_min``, the processor category with the minimum lookup-table
+   execution time ``x`` for the kernel;
+2. if an instance of ``p_min`` is available, assign the kernel there;
+3. otherwise look for an *alternative* processor ``p_alt`` — an available
+   processor whose ``execution time + inbound data-transfer time`` is
+   within the threshold
+
+   .. math:: threshold = \\alpha \\cdot x, \\qquad \\alpha \\ge 1
+
+   and assign to the best-qualifying one;
+4. if no alternative qualifies, the kernel waits (exactly like MET).
+
+``α`` tunes the flexibility: α → 1 degenerates to MET (never accept a
+slower processor), large α floods slow processors.  The thesis finds a
+"valley" with the optimum at α = 4 for its CPU/GPU/FPGA system.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import Assignment, DynamicPolicy, SchedulingContext
+
+
+class APT(DynamicPolicy):
+    """Alternative Processor within Threshold.
+
+    Parameters
+    ----------
+    alpha:
+        Threshold multiplier (≥ 1).  ``threshold = alpha * x`` where ``x``
+        is the kernel's execution time on its best processor.
+    include_transfer:
+        Whether the alternative-processor test compares
+        ``exec + transfer ≤ threshold`` (the thesis's definition of
+        ``p_alt``; default) or ``exec ≤ threshold`` alone.  Exposed as an
+        ablation knob.
+    """
+
+    name = "apt"
+
+    def __init__(self, alpha: float = 4.0, include_transfer: bool = True) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1 (got {alpha})")
+        self.alpha = float(alpha)
+        self.include_transfer = bool(include_transfer)
+        self._alt_by_kernel: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._alt_by_kernel = {}
+
+    def stats(self) -> dict[str, object]:
+        """Alternative-assignment counts, as in thesis Tables 15/16."""
+        return {
+            "alternative_assignments": sum(self._alt_by_kernel.values()),
+            "alternative_by_kernel": dict(sorted(self._alt_by_kernel.items())),
+            "alpha": self.alpha,
+        }
+
+    # ------------------------------------------------------------------
+    def select(self, ctx: SchedulingContext) -> list[Assignment]:
+        out: list[Assignment] = []
+        # Processors consumed by assignments made earlier in this call.
+        taken: set[str] = set()
+
+        def idle(name: str) -> bool:
+            return ctx.views[name].idle and name not in taken
+
+        for kid in ctx.ready:
+            best_ptype, x = ctx.best_processor_type(kid)
+            # findBestProc: an available instance of the best category.
+            p_min = next(
+                (p.name for p in ctx.system.of_type(best_ptype) if idle(p.name)), None
+            )
+            if p_min is not None:
+                taken.add(p_min)
+                out.append(Assignment(kernel_id=kid, processor=p_min))
+                continue
+            # find2ndBestProc: cheapest available processor within threshold.
+            threshold = self.alpha * x
+            best_alt: str | None = None
+            best_cost = float("inf")
+            for proc in ctx.system:
+                if not idle(proc.name):
+                    continue
+                cost = ctx.exec_time(kid, proc.ptype)
+                if self.include_transfer:
+                    cost += ctx.transfer_time(kid, proc.name)
+                if cost <= threshold and cost < best_cost:
+                    best_alt, best_cost = proc.name, cost
+            if best_alt is not None:
+                taken.add(best_alt)
+                kernel_name = ctx.dfg.spec(kid).kernel
+                self._alt_by_kernel[kernel_name] = (
+                    self._alt_by_kernel.get(kernel_name, 0) + 1
+                )
+                out.append(
+                    Assignment(kernel_id=kid, processor=best_alt, alternative=True)
+                )
+            # else: wait for p_min, like MET.
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"APT(alpha={self.alpha}, include_transfer={self.include_transfer})"

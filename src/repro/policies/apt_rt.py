@@ -1,0 +1,70 @@
+"""APT-RT — APT with remaining-time awareness (the thesis's future work).
+
+The conclusion sketches the next step: "In the future, we will consider
+the remaining execution time in the optimal processor before deciding
+whether to assign to an alternative processor."  APT-RT implements that:
+an alternative processor is used only when it is *both*
+
+1. within the APT threshold (``exec + transfer ≤ α·x``), and
+2. actually faster than waiting — its completion time beats the estimated
+   completion on the busy best processor
+   (``free_at(p_min) − now + x``, i.e. remaining busy time plus the
+   kernel's own best-case execution).
+
+Condition 2 removes APT's main failure mode at large α (diverting a
+kernel to a much slower device when the best one was about to free up),
+flattening the right side of the α-valley.
+"""
+
+from __future__ import annotations
+
+from repro.policies.apt import APT
+from repro.policies.base import Assignment, SchedulingContext
+
+
+class APT_RT(APT):
+    """APT + remaining-time check on the optimal processor."""
+
+    name = "apt_rt"
+
+    def select(self, ctx: SchedulingContext) -> list[Assignment]:
+        out: list[Assignment] = []
+        taken: set[str] = set()
+
+        def idle(name: str) -> bool:
+            return ctx.views[name].idle and name not in taken
+
+        for kid in ctx.ready:
+            best_ptype, x = ctx.best_processor_type(kid)
+            instances = ctx.system.of_type(best_ptype)
+            p_min = next((p.name for p in instances if idle(p.name)), None)
+            if p_min is not None:
+                taken.add(p_min)
+                out.append(Assignment(kernel_id=kid, processor=p_min))
+                continue
+            # Estimated completion if we wait for the earliest-free best
+            # instance: its remaining busy time plus x.
+            wait_finish = (
+                min(ctx.views[p.name].free_at for p in instances) - ctx.time + x
+            )
+            threshold = self.alpha * x
+            best_alt: str | None = None
+            best_cost = float("inf")
+            for proc in ctx.system:
+                if not idle(proc.name):
+                    continue
+                cost = ctx.exec_time(kid, proc.ptype)
+                if self.include_transfer:
+                    cost += ctx.transfer_time(kid, proc.name)
+                if cost <= threshold and cost < wait_finish and cost < best_cost:
+                    best_alt, best_cost = proc.name, cost
+            if best_alt is not None:
+                taken.add(best_alt)
+                kernel_name = ctx.dfg.spec(kid).kernel
+                self._alt_by_kernel[kernel_name] = (
+                    self._alt_by_kernel.get(kernel_name, 0) + 1
+                )
+                out.append(
+                    Assignment(kernel_id=kid, processor=best_alt, alternative=True)
+                )
+        return out

@@ -1,0 +1,231 @@
+"""Scheduling-policy interface.
+
+The thesis studies two families (§2.5.2):
+
+* **dynamic** policies see only the current system state — the ready set
+  ``I`` and the processor states — and make assignments on the fly;
+* **static** policies see the whole DFG up front, compute a full plan
+  (kernel → processor, plus an ordering), and the system then follows it.
+
+Both are driven by the same :class:`~repro.core.simulator.Simulator`:
+dynamic policies implement :meth:`DynamicPolicy.select`, static ones
+implement :meth:`StaticPolicy.plan` and the simulator dispatches the plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.core.lookup import LookupTable
+from repro.core.system import Processor, ProcessorType, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.dfg import DFG
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A policy decision binding a ready kernel to a processor.
+
+    ``queued=False`` (the default) targets an *idle* processor and starts
+    immediately.  ``queued=True`` appends to the processor's FIFO queue even
+    if it is busy — the Adaptive Greedy policy works this way (§2.5.3).
+    ``alternative=True`` marks an APT second-best-processor assignment for
+    the Table 15/16 allocation analyses.
+    """
+
+    kernel_id: int
+    processor: str
+    queued: bool = False
+    alternative: bool = False
+
+
+@dataclass(frozen=True)
+class ProcessorView:
+    """Read-only processor state exposed to policies.
+
+    ``free_at`` is the time the processor finishes everything currently
+    started or queued on it (equals the current time when idle).
+    """
+
+    processor: Processor
+    busy: bool
+    free_at: float
+    queue_length: int
+    running_kernel: int | None
+
+    @property
+    def name(self) -> str:
+        return self.processor.name
+
+    @property
+    def ptype(self) -> ProcessorType:
+        return self.processor.ptype
+
+    @property
+    def idle(self) -> bool:
+        return not self.busy and self.queue_length == 0
+
+
+class SchedulingContext:
+    """Everything a dynamic policy may inspect when invoked.
+
+    The ready set is ordered first-come-first-serve — by the time each
+    kernel's dependencies completed, ties broken by kernel id (arrival
+    order), matching the thesis's queue discipline (§3.1).
+    """
+
+    def __init__(
+        self,
+        time: float,
+        ready: Sequence[int],
+        dfg: "DFG",
+        system: SystemConfig,
+        lookup: LookupTable,
+        views: Mapping[str, ProcessorView],
+        assignment_of: Mapping[int, str],
+        completed: frozenset[int],
+        element_size: int,
+        transfer_mode: str,
+        exec_history: Mapping[str, Sequence[float]],
+    ) -> None:
+        self.time = time
+        self.ready = tuple(ready)
+        self.dfg = dfg
+        self.system = system
+        self.lookup = lookup
+        self.views = dict(views)
+        self.assignment_of = dict(assignment_of)
+        self.completed = completed
+        self.element_size = element_size
+        self.transfer_mode = transfer_mode
+        self.exec_history = {k: tuple(v) for k, v in exec_history.items()}
+
+    # ------------------------------------------------------------------
+    # derived helpers shared by all policies
+    # ------------------------------------------------------------------
+    def idle_processors(self) -> list[ProcessorView]:
+        """Idle processors, in system declaration order."""
+        return [self.views[p.name] for p in self.system if self.views[p.name].idle]
+
+    def exec_time(self, kernel_id: int, ptype: ProcessorType) -> float:
+        spec = self.dfg.spec(kernel_id)
+        return self.lookup.time(spec.kernel, spec.data_size, ptype)
+
+    def exec_time_on(self, kernel_id: int, processor: str) -> float:
+        return self.exec_time(kernel_id, self.system[processor].ptype)
+
+    def data_bytes(self, kernel_id: int) -> int:
+        return self.dfg.spec(kernel_id).data_size * self.element_size
+
+    def transfer_time(self, kernel_id: int, processor: str) -> float:
+        """Inbound transfer time if ``kernel_id`` were assigned to ``processor``.
+
+        Mirrors the simulator's transfer model (see
+        :class:`~repro.core.simulator.Simulator`): nothing to move when all
+        predecessors ran on the target processor (or there are none).
+        """
+        nbytes = self.data_bytes(kernel_id)
+        costs = []
+        for pred in self.dfg.predecessors(kernel_id):
+            src = self.assignment_of.get(pred)
+            if src is None or src == processor:
+                continue
+            costs.append(self.system.transfer_time_ms(src, processor, nbytes))
+        if not costs:
+            return 0.0
+        return sum(costs) if self.transfer_mode == "per_predecessor" else max(costs)
+
+    def best_processor_type(self, kernel_id: int) -> tuple[ProcessorType, float]:
+        """The lookup table's p_min category and its execution time ``x``."""
+        spec = self.dfg.spec(kernel_id)
+        return self.lookup.best_processor(
+            spec.kernel, spec.data_size, self.system.processor_types()
+        )
+
+
+@dataclass(frozen=True)
+class StaticPlan:
+    """A static policy's full schedule plan.
+
+    ``processor_of`` maps each kernel to a processor; ``priority`` gives
+    the dispatch order (lower = earlier).  Kernels bound to one processor
+    are executed strictly in ascending priority.
+    """
+
+    processor_of: Mapping[int, str]
+    priority: Mapping[int, int]
+    planned_start: Mapping[int, float] = field(default_factory=dict)
+    planned_finish: Mapping[int, float] = field(default_factory=dict)
+
+    def validate(self, dfg: "DFG", system: SystemConfig) -> None:
+        kernels = set(dfg.kernel_ids())
+        if set(self.processor_of) != kernels:
+            raise ValueError("static plan must assign every kernel exactly once")
+        if set(self.priority) != kernels:
+            raise ValueError("static plan must rank every kernel")
+        for kid, proc in self.processor_of.items():
+            if proc not in system:
+                raise ValueError(f"plan assigns kernel {kid} to unknown processor {proc}")
+        ranks = sorted(self.priority.values())
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("plan priorities must be unique")
+
+
+class Policy(abc.ABC):
+    """Base class of every scheduling policy."""
+
+    #: short identifier used in tables and the CLI (e.g. ``"apt"``).
+    name: str = "policy"
+
+    @property
+    @abc.abstractmethod
+    def is_dynamic(self) -> bool:
+        """Whether the policy decides online (vs planning on the full DFG)."""
+
+    def reset(self) -> None:
+        """Clear per-run state.  Called by the simulator before each run."""
+
+    def stats(self) -> dict[str, object]:
+        """Per-run policy statistics (e.g. APT's alternative assignments)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class DynamicPolicy(Policy):
+    """A policy invoked with the live system state on every event."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    @abc.abstractmethod
+    def select(self, ctx: SchedulingContext) -> list[Assignment]:
+        """Return assignments for (a subset of) the ready kernels.
+
+        Called repeatedly until it returns no new assignment at the current
+        time; it must therefore be idempotent on an unchanged context.
+        """
+
+
+class StaticPolicy(Policy):
+    """A policy that plans the full schedule before execution."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        return False
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        dfg: "DFG",
+        system: SystemConfig,
+        lookup: LookupTable,
+        element_size: int,
+        transfer_mode: str,
+    ) -> StaticPlan:
+        """Compute the full kernel→processor plan for ``dfg``."""

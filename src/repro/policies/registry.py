@@ -1,0 +1,67 @@
+"""Policy registry: name → constructor, for the CLI and experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.policies.ag import AG
+from repro.policies.apt import APT
+from repro.policies.apt_rt import APT_RT
+from repro.policies.base import Policy
+from repro.policies.batch_mode import MaxMin, MinMin, Sufferage
+from repro.policies.cpop import CPOP
+from repro.policies.heft import HEFT
+from repro.policies.met import MET
+from repro.policies.olb import OLB
+from repro.policies.peft import PEFT
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.spn import SPN
+from repro.policies.ss import SS
+
+_REGISTRY: dict[str, Callable[..., Policy]] = {
+    "apt": APT,
+    "apt_rt": APT_RT,
+    "met": MET,
+    "spn": SPN,
+    "ss": SS,
+    "ag": AG,
+    "heft": HEFT,
+    "peft": PEFT,
+    "olb": OLB,
+    "random": RandomPolicy,
+    "minmin": MinMin,
+    "maxmin": MaxMin,
+    "sufferage": Sufferage,
+    "cpop": CPOP,
+}
+
+#: The seven policies of the thesis's head-to-head comparison (Table 4).
+PAPER_POLICIES = ("apt", "met", "spn", "ss", "ag", "heft", "peft")
+
+
+def available_policies() -> tuple[str, ...]:
+    """All registered policy names, alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy(name: str, **kwargs: object) -> Policy:
+    """Instantiate a policy by name, forwarding keyword arguments.
+
+    >>> get_policy("apt", alpha=4.0).alpha
+    4.0
+    """
+    try:
+        ctor = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+    return ctor(**kwargs)
+
+
+def register_policy(name: str, ctor: Callable[..., Policy]) -> None:
+    """Add a user-defined policy to the registry (e.g. for CLI use)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[key] = ctor

@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lookup import LookupEntry, LookupTable
+from repro.core.simulator import Simulator
+from repro.core.system import CPU_GPU_FPGA, Processor, ProcessorType, SystemConfig
+from repro.data.paper_tables import (
+    FIGURE5_KERNELS,
+    figure5_lookup_table,
+    paper_lookup_table,
+)
+from repro.graphs.dfg import DFG, KernelSpec
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    """The paper's 1×CPU + 1×GPU + 1×FPGA system at 4 GB/s."""
+    return CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+
+
+@pytest.fixture
+def paper_lookup() -> LookupTable:
+    return paper_lookup_table()
+
+
+@pytest.fixture
+def fig5_lookup() -> LookupTable:
+    return figure5_lookup_table()
+
+
+@pytest.fixture
+def fig5_dfg() -> DFG:
+    return DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+
+
+def make_synthetic_lookup() -> LookupTable:
+    """A controlled lookup table with easy arithmetic.
+
+    Three kernels, each clearly fastest on a different platform, at data
+    size 1 000 000 (= exactly 1 ms of transfer at 4 GB/s with 4-byte
+    elements):
+
+    ============  =====  =====  =====
+    kernel         CPU    GPU   FPGA
+    ============  =====  =====  =====
+    fast_cpu        10    100     50
+    fast_gpu       100     10     50
+    fast_fpga       50    100     10
+    uniform         20     20     20
+    ============  =====  =====  =====
+    """
+    size = 1_000_000
+    rows = {
+        "fast_cpu": (10.0, 100.0, 50.0),
+        "fast_gpu": (100.0, 10.0, 50.0),
+        "fast_fpga": (50.0, 100.0, 10.0),
+        "uniform": (20.0, 20.0, 20.0),
+    }
+    entries = []
+    for kernel, (cpu, gpu, fpga) in rows.items():
+        entries.append(LookupEntry(kernel, size, ProcessorType.CPU, cpu))
+        entries.append(LookupEntry(kernel, size, ProcessorType.GPU, gpu))
+        entries.append(LookupEntry(kernel, size, ProcessorType.FPGA, fpga))
+    return LookupTable(entries)
+
+
+#: data size used throughout the synthetic fixtures (1 ms transfer @4GB/s).
+SYNTH_SIZE = 1_000_000
+
+
+@pytest.fixture
+def synth_lookup() -> LookupTable:
+    return make_synthetic_lookup()
+
+
+@pytest.fixture
+def synth_sim(system, synth_lookup) -> Simulator:
+    return Simulator(system, synth_lookup)
+
+
+@pytest.fixture
+def synth_sim_no_transfer(system, synth_lookup) -> Simulator:
+    return Simulator(system, synth_lookup, transfers_enabled=False)
+
+
+def spec(kernel: str, size: int = SYNTH_SIZE) -> KernelSpec:
+    return KernelSpec(kernel, size)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_synth_population():
+    """A kernel population drawn from the synthetic lookup table."""
+    from repro.graphs.generators import KernelPopulation
+
+    return KernelPopulation(
+        tuple(
+            (kernel, SYNTH_SIZE)
+            for kernel in ("fast_cpu", "fast_gpu", "fast_fpga", "uniform")
+        )
+    )
+
+
+@pytest.fixture
+def synth_population():
+    return make_synth_population()

@@ -1,0 +1,53 @@
+"""Behavioural tests for APT-RT (the future-work remaining-time variant)."""
+
+import pytest
+
+from repro.policies.apt_rt import APT_RT
+from repro.policies.apt import APT
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+
+class TestRemainingTimeCheck:
+    def test_rejects_alternative_slower_than_waiting(self, synth_sim_no_transfer):
+        # Two fast_gpu kernels: waiting finishes at 10 + 10 = 20; the FPGA
+        # alternative takes 50.  Plain APT(α=8) diverts; APT-RT must not.
+        dfg = dfg_of("fast_gpu", "fast_gpu")
+        apt = synth_sim_no_transfer.run(dfg, APT(alpha=8.0))
+        apt_rt = synth_sim_no_transfer.run(dfg, APT_RT(alpha=8.0))
+        assert any(e.used_alternative for e in apt.schedule)
+        assert not any(e.used_alternative for e in apt_rt.schedule)
+        assert apt_rt.makespan == pytest.approx(20.0)
+        assert apt.makespan == pytest.approx(50.0)
+
+    def test_accepts_alternative_faster_than_waiting(self, synth_sim_no_transfer):
+        # Kernel 1 (uniform, 20 everywhere) claims the CPU; kernel 2's
+        # best processor is then busy and waiting would finish at 40 while
+        # the idle FPGA finishes at 20 — APT-RT must divert it.
+        dfg = dfg_of("fast_gpu", "uniform", "uniform")
+        apt_rt = synth_sim_no_transfer.run(dfg, APT_RT(alpha=8.0))
+        assert any(e.used_alternative for e in apt_rt.schedule)
+        assert apt_rt.metrics.lambda_stats.total == pytest.approx(0.0)
+        assert apt_rt.makespan == pytest.approx(20.0)
+
+    def test_never_worse_than_met_on_independent_kernels(
+        self, synth_sim_no_transfer, synth_population, rng
+    ):
+        from repro.graphs.generators import make_independent_dfg
+
+        dfg = make_independent_dfg(24, rng=rng, population=synth_population)
+        met = synth_sim_no_transfer.run(dfg, MET()).makespan
+        apt_rt = synth_sim_no_transfer.run(dfg, APT_RT(alpha=16.0)).makespan
+        # The remaining-time check only diverts when it is a strict local
+        # win; on an independent bag this cannot lose to pure waiting.
+        assert apt_rt <= met + 1e-9
+
+    def test_inherits_apt_validation(self):
+        with pytest.raises(ValueError):
+            APT_RT(alpha=0.5)
+
+    def test_stats_interface(self, synth_sim_no_transfer):
+        dfg = dfg_of("fast_gpu", "uniform")
+        policy = APT_RT(alpha=4.0)
+        synth_sim_no_transfer.run(dfg, policy)
+        assert "alternative_assignments" in policy.stats()

@@ -1,0 +1,85 @@
+"""Unit tests for the calibration harness."""
+
+import pytest
+
+from repro.core.system import ProcessorType
+from repro.kernels.calibration import CalibrationResult, Calibrator, SpeedupModel
+
+
+class TestCalibrationResult:
+    def test_statistics(self):
+        r = CalibrationResult("matmul", 100, (1.0, 3.0, 2.0))
+        assert r.median_ms == 2.0
+        assert r.mean_ms == pytest.approx(2.0)
+        assert r.stddev_ms > 0
+
+
+class TestSpeedupModel:
+    def test_cpu_passthrough(self):
+        m = SpeedupModel({"k": {ProcessorType.GPU: 4.0}})
+        assert m.time_on("k", ProcessorType.CPU, 100.0) == 100.0
+
+    def test_speedup_divides_time(self):
+        m = SpeedupModel({"k": {ProcessorType.GPU: 4.0}})
+        assert m.time_on("k", ProcessorType.GPU, 100.0) == 25.0
+
+    def test_missing_factor_raises(self):
+        m = SpeedupModel({"k": {ProcessorType.GPU: 4.0}})
+        with pytest.raises(KeyError):
+            m.time_on("k", ProcessorType.FPGA, 100.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedupModel({"k": {ProcessorType.GPU: 0.0}})
+
+    def test_paper_ratios_reflect_table14_structure(self):
+        m = SpeedupModel.from_paper_ratios()
+        # BFS is ~3x faster on FPGA than CPU in Table 14 (332 vs 106).
+        assert m.time_on("bfs", ProcessorType.FPGA, 332.0) == pytest.approx(
+            106.0, rel=0.01
+        )
+        # matmul is dramatically faster on the GPU...
+        assert m.time_on("matmul", ProcessorType.GPU, 1000.0) < 10.0
+        # ...and slower on the FPGA.
+        assert m.time_on("matmul", ProcessorType.FPGA, 1000.0) > 1000.0
+
+
+class TestCalibrator:
+    def test_measure_returns_all_repeats(self):
+        cal = Calibrator(repeats=3, warmup=0)
+        r = cal.measure("matmul", 32 * 32)
+        assert len(r.times_ms) == 3
+        assert all(t > 0 for t in r.times_ms)
+
+    def test_calibrate_builds_three_column_table(self):
+        cal = Calibrator(repeats=1, warmup=0)
+        table = cal.calibrate({"matmul": [32 * 32], "bfs": [200]})
+        assert set(table.kernels) == {"matmul", "bfs"}
+        for ptype in (ProcessorType.CPU, ProcessorType.GPU, ProcessorType.FPGA):
+            assert table.time("matmul", 32 * 32, ptype) > 0
+
+    def test_calibrated_table_preserves_heterogeneity_shape(self):
+        cal = Calibrator(repeats=1, warmup=0)
+        table = cal.calibrate({"matmul": [64 * 64]})
+        cpu = table.time("matmul", 64 * 64, ProcessorType.CPU)
+        gpu = table.time("matmul", 64 * 64, ProcessorType.GPU)
+        fpga = table.time("matmul", 64 * 64, ProcessorType.FPGA)
+        assert gpu < cpu < fpga  # the Table 14 ordering for matmul
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Calibrator(repeats=0)
+        with pytest.raises(ValueError):
+            Calibrator(warmup=-1)
+
+    def test_calibrated_table_drives_simulation(self, system):
+        from repro.core.simulator import Simulator
+        from repro.graphs.dfg import DFG, KernelSpec
+        from repro.policies.met import MET
+
+        cal = Calibrator(repeats=1, warmup=0)
+        table = cal.calibrate({"matmul": [32 * 32]})
+        dfg = DFG.from_kernels([KernelSpec("matmul", 32 * 32)] * 3)
+        result = Simulator(system, table).run(dfg, MET())
+        assert result.makespan > 0
+        assert all(e.processor == "gpu0" for e in result.schedule)

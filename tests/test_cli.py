@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (driven through main(argv))."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_basic_run_prints_metrics(self, capsys):
+        out = run_cli(capsys, "simulate", "--policy", "met", "--kernels", "10")
+        assert "makespan" in out
+        assert "lambda" in out
+
+    def test_gantt_flag(self, capsys):
+        out = run_cli(capsys, "simulate", "--kernels", "10", "--gantt")
+        assert "cpu0" in out and "█" in out
+
+    def test_apt_alpha_forwarded(self, capsys):
+        out = run_cli(
+            capsys, "simulate", "--policy", "apt", "--alpha", "16",
+            "--kernels", "13", "--dfg-type", "2",
+        )
+        assert "policy   : apt" in out
+
+
+class TestFigure5:
+    def test_exact_published_numbers(self, capsys):
+        out = run_cli(capsys, "figure5")
+        assert "318.093" in out
+        assert "212.093" in out
+
+
+class TestTablesAndFigures:
+    def test_table_8(self, capsys):
+        out = run_cli(capsys, "table", "8")
+        assert "Table 8" in out and "APT" in out
+
+    def test_table_13(self, capsys):
+        out = run_cli(capsys, "table", "13")
+        assert "Improvement" in out
+
+    def test_figure_7(self, capsys):
+        out = run_cli(capsys, "figure", "7")
+        assert "alpha=4" in out
+
+    def test_unknown_table_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "99"])
+
+
+class TestCompareAndSweep:
+    def test_compare_lists_all_policies(self, capsys):
+        out = run_cli(capsys, "compare", "--dfg-type", "1")
+        for name in ("APT", "MET", "SPN", "SS", "AG", "HEFT", "PEFT"):
+            assert name in out
+
+    def test_sweep_lambda_metric(self, capsys):
+        out = run_cli(capsys, "sweep", "--dfg-type", "2", "--metric", "lambda")
+        assert "λ" in out or "lambda" in out.lower()
+
+
+class TestExtension:
+    def test_energy_study(self, capsys):
+        out = run_cli(capsys, "extension", "energy")
+        assert "EDP" in out
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["extension", "bogus"])
+
+
+class TestCalibrate:
+    def test_writes_lookup_json(self, capsys, tmp_path):
+        path = tmp_path / "table.json"
+        out = run_cli(
+            capsys, "calibrate", str(path), "--max-side", "32", "--repeats", "1"
+        )
+        assert "wrote" in out
+        records = json.loads(path.read_text())
+        assert any(r["kernel"] == "matmul" for r in records)
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_policy_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "bogus"])

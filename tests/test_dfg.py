@@ -1,0 +1,139 @@
+"""Unit tests for the DFG container."""
+
+import pytest
+
+from repro.graphs.dfg import DFG, KernelSpec
+
+
+def k(name="k", size=100) -> KernelSpec:
+    return KernelSpec(name, size)
+
+
+class TestKernelSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("", 10)
+        with pytest.raises(ValueError):
+            KernelSpec("k", 0)
+
+    def test_frozen_and_hashable(self):
+        s = k()
+        assert hash(s) == hash(KernelSpec("k", 100))
+        with pytest.raises(AttributeError):
+            s.kernel = "other"
+
+
+class TestConstruction:
+    def test_sequential_ids(self):
+        dfg = DFG()
+        assert dfg.add_kernel(k()) == 0
+        assert dfg.add_kernel(k()) == 1
+
+    def test_explicit_ids(self):
+        dfg = DFG()
+        assert dfg.add_kernel(k(), kid=7) == 7
+        # sequential allocation continues after the explicit id
+        assert dfg.add_kernel(k()) == 8
+
+    def test_duplicate_id_rejected(self):
+        dfg = DFG()
+        dfg.add_kernel(k(), kid=0)
+        with pytest.raises(ValueError):
+            dfg.add_kernel(k(), kid=0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            DFG().add_kernel(k(), kid=-1)
+
+    def test_dependency_endpoints_must_exist(self):
+        dfg = DFG()
+        dfg.add_kernel(k())
+        with pytest.raises(KeyError):
+            dfg.add_dependency(0, 99)
+
+    def test_self_dependency_rejected(self):
+        dfg = DFG()
+        dfg.add_kernel(k())
+        with pytest.raises(ValueError):
+            dfg.add_dependency(0, 0)
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dfg = DFG()
+        for _ in range(3):
+            dfg.add_kernel(k())
+        dfg.add_dependency(0, 1)
+        dfg.add_dependency(1, 2)
+        with pytest.raises(ValueError, match="cycle"):
+            dfg.add_dependency(2, 0)
+        # the offending edge was rolled back
+        assert (2, 0) not in dfg.edges()
+        dfg.validate()
+
+    def test_from_kernels_constructor(self):
+        dfg = DFG.from_kernels([k("a"), k("b")], dependencies=[(0, 1)], name="x")
+        assert len(dfg) == 2
+        assert dfg.edges() == [(0, 1)]
+        assert dfg.name == "x"
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self) -> DFG:
+        #   0
+        #  / \
+        # 1   2
+        #  \ /
+        #   3
+        return DFG.from_kernels(
+            [k("a"), k("b"), k("c"), k("d")],
+            dependencies=[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+
+    def test_entry_and_exit(self, diamond):
+        assert diamond.entry_kernels() == [0]
+        assert diamond.exit_kernels() == [3]
+
+    def test_predecessors_successors(self, diamond):
+        assert diamond.predecessors(3) == [1, 2]
+        assert diamond.successors(0) == [1, 2]
+        assert diamond.predecessors(0) == []
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        pos = {kid: i for i, kid in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_iteration_in_id_order(self, diamond):
+        assert list(diamond) == [0, 1, 2, 3]
+
+    def test_contains_and_len(self, diamond):
+        assert 2 in diamond
+        assert 9 not in diamond
+        assert len(diamond) == 4
+        assert diamond.n_edges == 4
+
+    def test_spec_retrieval(self, diamond):
+        assert diamond.spec(1).kernel == "b"
+
+    def test_subgraph_counts(self):
+        dfg = DFG.from_kernels([k("x"), k("x"), k("y")])
+        assert dfg.subgraph_counts() == {"x": 2, "y": 1}
+
+    def test_copy_is_independent(self, diamond):
+        dup = diamond.copy()
+        dup.add_kernel(k("extra"))
+        assert len(dup) == 5
+        assert len(diamond) == 4
+        assert dup.edges() == diamond.edges()
+
+    def test_as_networkx_returns_copy(self, diamond):
+        g = diamond.as_networkx()
+        g.remove_node(0)
+        assert 0 in diamond
+
+    def test_empty_dfg(self):
+        dfg = DFG()
+        assert dfg.is_empty()
+        assert dfg.entry_kernels() == []
+        dfg.validate()

@@ -1,0 +1,92 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.core.energy import (
+    DEFAULT_POWER_MODEL,
+    PowerModel,
+    energy_of,
+)
+from repro.core.system import CPU_GPU_FPGA, ProcessorType
+from repro.policies.apt import APT
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+
+class TestPowerModel:
+    def test_default_covers_all_three_platforms(self):
+        for ptype in (ProcessorType.CPU, ProcessorType.GPU, ProcessorType.FPGA):
+            assert DEFAULT_POWER_MODEL.busy(ptype) > DEFAULT_POWER_MODEL.idle(ptype)
+
+    def test_transfer_defaults_to_busy(self):
+        assert DEFAULT_POWER_MODEL.transfer(ProcessorType.GPU) == 225.0
+
+    def test_transfer_override(self):
+        m = PowerModel(
+            busy_watts={ProcessorType.CPU: 100.0},
+            idle_watts={ProcessorType.CPU: 10.0},
+            transfer_watts={ProcessorType.CPU: 50.0},
+        )
+        assert m.transfer(ProcessorType.CPU) == 50.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(
+                busy_watts={ProcessorType.CPU: -1.0},
+                idle_watts={ProcessorType.CPU: 10.0},
+            )
+
+    def test_missing_idle_entry_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(busy_watts={ProcessorType.CPU: 10.0}, idle_watts={})
+
+
+class TestEnergyOf:
+    def test_hand_computed_energy(self, synth_sim):
+        # One fast_cpu kernel, 10 ms on the CPU; makespan 10 ms.
+        # CPU: 10ms busy × 95 W; GPU: 10ms idle × 25 W; FPGA: 10ms × 10 W.
+        result = synth_sim.run(dfg_of("fast_cpu"), MET())
+        report = energy_of(result.schedule, synth_sim.system)
+        assert report.per_processor["cpu0"].compute_joules == pytest.approx(0.95)
+        assert report.per_processor["gpu0"].idle_joules == pytest.approx(0.25)
+        assert report.per_processor["fpga0"].idle_joules == pytest.approx(0.10)
+        assert report.total_joules == pytest.approx(0.95 + 0.25 + 0.10)
+
+    def test_transfer_energy_accounted(self, synth_sim):
+        result = synth_sim.run(dfg_of("fast_cpu", "fast_gpu", deps=[(0, 1)]), MET())
+        report = energy_of(result.schedule, synth_sim.system)
+        assert report.per_processor["gpu0"].transfer_joules == pytest.approx(
+            0.001 * 225.0  # 1 ms at GPU busy power
+        )
+
+    def test_edp_definition(self, synth_sim):
+        result = synth_sim.run(dfg_of("fast_cpu"), MET())
+        report = energy_of(result.schedule, synth_sim.system)
+        assert report.energy_delay_product == pytest.approx(
+            report.total_joules * result.makespan / 1e3
+        )
+
+    def test_empty_schedule_zero_energy(self, synth_sim):
+        from repro.core.schedule import Schedule
+
+        report = energy_of(Schedule(), synth_sim.system)
+        assert report.total_joules == 0.0
+
+    def test_shorter_makespan_cuts_idle_energy(self, synth_sim_no_transfer):
+        # Four uniform kernels: MET serializes them on the tie-broken CPU
+        # (80 ms) while APT(α=1) spreads them (40 ms) — less time with the
+        # whole system powered means less total idle energy.
+        dfg = dfg_of("uniform", "uniform", "uniform", "uniform")
+        met = synth_sim_no_transfer.run(dfg, MET())
+        apt = synth_sim_no_transfer.run(dfg, APT(alpha=1.0))
+        e_met = energy_of(met.schedule, synth_sim_no_transfer.system)
+        e_apt = energy_of(apt.schedule, synth_sim_no_transfer.system)
+        idle_met = sum(p.idle_joules for p in e_met.per_processor.values())
+        idle_apt = sum(p.idle_joules for p in e_apt.per_processor.values())
+        assert idle_apt < idle_met
+
+    def test_busy_energy_tracks_schedule(self, synth_sim):
+        result = synth_sim.run(dfg_of("fast_cpu", "fast_gpu", "fast_fpga"), MET())
+        report = energy_of(result.schedule, synth_sim.system)
+        expected = (10 / 1e3) * (95.0 + 225.0 + 25.0)
+        assert report.busy_joules == pytest.approx(expected)

@@ -1,0 +1,85 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, EventQueue
+
+
+def ev(t: float, payload=None) -> Event:
+    return Event(t, EventKind.KERNEL_COMPLETE, payload)
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            ev(-0.5)
+
+    def test_frozen(self):
+        e = ev(1.0)
+        with pytest.raises(AttributeError):
+            e.time = 2.0
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.push(ev(5.0, "b"))
+        q.push(ev(1.0, "a"))
+        q.push(ev(3.0, "c"))
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "c"
+        assert q.pop().payload == "b"
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        for name in ("first", "second", "third"):
+            q.push(ev(2.0, name))
+        assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(ev(1.0, "x"))
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(ev(0.0))
+        assert q and len(q) == 1
+
+    def test_pop_simultaneous_groups_equal_times(self):
+        q = EventQueue()
+        q.push(ev(1.0, "a"))
+        q.push(ev(1.0, "b"))
+        q.push(ev(2.0, "c"))
+        batch = q.pop_simultaneous()
+        assert [e.payload for e in batch] == ["a", "b"]
+        assert q.pop().payload == "c"
+
+    def test_pop_simultaneous_single(self):
+        q = EventQueue()
+        q.push(ev(1.0, "only"))
+        assert [e.payload for e in q.pop_simultaneous()] == ["only"]
+        assert not q
+
+    def test_pop_simultaneous_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop_simultaneous()
+
+    def test_interleaved_push_pop(self):
+        q = EventQueue()
+        q.push(ev(10.0, "late"))
+        assert q.pop().payload == "late"
+        q.push(ev(5.0, "early"))
+        q.push(ev(7.0, "mid"))
+        assert q.pop().payload == "early"
+        assert q.pop().payload == "mid"

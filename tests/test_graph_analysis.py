@@ -1,0 +1,97 @@
+"""Unit tests for graph analysis (levels, critical path, bounds)."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    critical_path,
+    critical_path_length,
+    levels,
+    lower_bound_makespan,
+    parallelism_profile,
+    sequential_time,
+    summarize,
+)
+from repro.graphs.dfg import DFG
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        dfg = dfg_of("fast_cpu", "fast_cpu", "fast_cpu", deps=[(0, 1), (1, 2)])
+        assert levels(dfg) == {0: 0, 1: 1, 2: 2}
+
+    def test_level_is_longest_path(self):
+        # 0→1→3 and 0→3: kernel 3 sits at level 2, not 1.
+        dfg = dfg_of("fast_cpu", "fast_cpu", "fast_cpu", "fast_cpu",
+                     deps=[(0, 1), (1, 3), (0, 3)])
+        assert levels(dfg)[3] == 2
+
+    def test_parallelism_profile(self):
+        dfg = dfg_of("fast_cpu", "fast_cpu", "fast_cpu", deps=[(0, 2), (1, 2)])
+        assert parallelism_profile(dfg) == [2, 1]
+
+    def test_empty_graph(self):
+        assert parallelism_profile(DFG()) == []
+
+
+class TestCriticalPath:
+    def test_chain_sums_best_times(self, system, synth_lookup):
+        # fast_cpu(10) → fast_gpu(10): critical path = 20 in best case.
+        dfg = dfg_of("fast_cpu", "fast_gpu", deps=[(0, 1)])
+        path, length = critical_path(dfg, synth_lookup, system)
+        assert path == [0, 1]
+        assert length == pytest.approx(20.0)
+
+    def test_picks_heavier_branch(self, system, synth_lookup):
+        # 0 → {1: uniform(20), 2: fast_gpu(10)} → 3
+        dfg = dfg_of("fast_cpu", "uniform", "fast_gpu", "fast_cpu",
+                     deps=[(0, 1), (0, 2), (1, 3), (2, 3)])
+        path, length = critical_path(dfg, synth_lookup, system)
+        assert path == [0, 1, 3]
+        assert length == pytest.approx(10 + 20 + 10)
+
+    def test_empty_graph(self, system, synth_lookup):
+        assert critical_path(DFG(), synth_lookup, system) == ([], 0.0)
+
+    def test_sequential_time_sums_minima(self, system, synth_lookup):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform")
+        assert sequential_time(dfg, synth_lookup, system) == pytest.approx(40.0)
+
+
+class TestLowerBound:
+    def test_bound_never_exceeds_any_simulated_makespan(
+        self, system, synth_lookup, synth_sim, synth_population, rng
+    ):
+        from repro.graphs.generators import make_type2_dfg
+
+        dfg = make_type2_dfg(30, rng=rng, population=synth_population)
+        bound = lower_bound_makespan(dfg, synth_lookup, system)
+        result = synth_sim.run(dfg, MET())
+        assert result.makespan >= bound - 1e-9
+
+    def test_work_bound_dominates_on_wide_graphs(self, system, synth_lookup):
+        # 30 independent uniform kernels: work/3 = 200 > any single path (20).
+        dfg = dfg_of(*["uniform"] * 30)
+        bound = lower_bound_makespan(dfg, synth_lookup, system)
+        assert bound == pytest.approx(30 * 20 / 3)
+
+    def test_path_bound_dominates_on_chains(self, system, synth_lookup):
+        dfg = dfg_of(*["uniform"] * 5, deps=[(i, i + 1) for i in range(4)])
+        bound = lower_bound_makespan(dfg, synth_lookup, system)
+        assert bound == pytest.approx(100.0)
+
+    def test_empty_graph_bound(self, system, synth_lookup):
+        assert lower_bound_makespan(DFG(), synth_lookup, system) == 0.0
+
+
+class TestSummarize:
+    def test_summary_fields(self, rng, synth_population):
+        from repro.graphs.generators import make_type1_dfg
+
+        dfg = make_type1_dfg(10, rng=rng, population=synth_population)
+        s = summarize(dfg)
+        assert s["kernels"] == 10
+        assert s["depth"] == 2
+        assert s["max_width"] == 9
+        assert sum(s["kernel_mix"].values()) == 10

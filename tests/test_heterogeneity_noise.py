@@ -1,0 +1,122 @@
+"""Tests for heterogeneity rescaling and execution-time noise."""
+
+import math
+
+import pytest
+
+from repro.core.lookup import LookupEntry, LookupTable, scale_heterogeneity
+from repro.core.simulator import Simulator
+from repro.core.system import ProcessorType
+from repro.data.paper_tables import paper_lookup_table
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+CPU, GPU, FPGA = ProcessorType.CPU, ProcessorType.GPU, ProcessorType.FPGA
+
+
+class TestScaleHeterogeneity:
+    def test_beta_one_is_identity(self, synth_lookup):
+        scaled = scale_heterogeneity(synth_lookup, 1.0)
+        for e in synth_lookup.entries():
+            assert scaled.time(e.kernel, e.data_size, e.ptype) == pytest.approx(
+                e.time_ms
+            )
+
+    def test_beta_zero_collapses_to_geometric_mean(self, synth_lookup):
+        scaled = scale_heterogeneity(synth_lookup, 0.0)
+        # fast_cpu row (10, 100, 50): geometric mean = (10·100·50)^(1/3).
+        g = (10.0 * 100.0 * 50.0) ** (1 / 3)
+        for ptype in (CPU, GPU, FPGA):
+            assert scaled.time("fast_cpu", 1_000_000, ptype) == pytest.approx(g)
+
+    def test_heterogeneity_ratio_scales_monotonically(self, synth_lookup):
+        ratios = [
+            scale_heterogeneity(synth_lookup, beta).heterogeneity(
+                "fast_gpu", 1_000_000, (CPU, GPU, FPGA)
+            )
+            for beta in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert ratios[0] == pytest.approx(1.0)
+        assert ratios == sorted(ratios)
+
+    def test_geometric_mean_preserved(self, synth_lookup):
+        for beta in (0.0, 0.5, 2.0):
+            scaled = scale_heterogeneity(synth_lookup, beta)
+            times = [scaled.time("fast_fpga", 1_000_000, p) for p in (CPU, GPU, FPGA)]
+            g = math.exp(sum(math.log(t) for t in times) / 3)
+            assert g == pytest.approx((50.0 * 100.0 * 10.0) ** (1 / 3))
+
+    def test_negative_beta_rejected(self, synth_lookup):
+        with pytest.raises(ValueError):
+            scale_heterogeneity(synth_lookup, -0.1)
+
+    def test_works_on_paper_table(self):
+        scaled = scale_heterogeneity(paper_lookup_table(), 0.5)
+        assert len(scaled) == len(paper_lookup_table())
+        # spread strictly shrinks for the extreme matmul row
+        orig = paper_lookup_table().heterogeneity("matmul", 64_000_000, (CPU, GPU, FPGA))
+        new = scaled.heterogeneity("matmul", 64_000_000, (CPU, GPU, FPGA))
+        assert new < orig
+
+
+class TestExecNoise:
+    def test_sigma_zero_is_noise_free(self, system, synth_lookup):
+        clean = Simulator(system, synth_lookup)
+        noisy0 = Simulator(system, synth_lookup, exec_noise_sigma=0.0, noise_seed=9)
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        assert clean.run(dfg, MET()).makespan == noisy0.run(dfg, MET()).makespan
+
+    def test_noise_changes_actual_times(self, system, synth_lookup):
+        sim = Simulator(system, synth_lookup, exec_noise_sigma=0.5, noise_seed=1)
+        result = sim.run(dfg_of("fast_cpu"), MET())
+        assert result.schedule[0].exec_time != pytest.approx(10.0)
+
+    def test_noise_deterministic_per_seed(self, system, synth_lookup):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform")
+        a = Simulator(system, synth_lookup, exec_noise_sigma=0.3, noise_seed=5)
+        b = Simulator(system, synth_lookup, exec_noise_sigma=0.3, noise_seed=5)
+        assert a.run(dfg, MET()).makespan == b.run(dfg, MET()).makespan
+
+    def test_same_noise_across_policies(self, system, synth_lookup):
+        # Kernel noise factors are id-indexed, so a kernel's actual time
+        # on the SAME processor matches across policies.
+        from repro.policies.apt import APT
+
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        sim = Simulator(system, synth_lookup, exec_noise_sigma=0.4, noise_seed=2)
+        met = sim.run(dfg, MET())
+        apt = sim.run(dfg, APT(alpha=1.0))
+        for kid in (0, 1):
+            assert met.schedule[kid].exec_time == pytest.approx(
+                apt.schedule[kid].exec_time
+            )
+
+    def test_negative_sigma_rejected(self, system, synth_lookup):
+        with pytest.raises(ValueError):
+            Simulator(system, synth_lookup, exec_noise_sigma=-0.1)
+
+    def test_noisy_schedule_still_validates(self, system, synth_lookup):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform", deps=[(0, 2), (1, 2)])
+        sim = Simulator(system, synth_lookup, exec_noise_sigma=0.6, noise_seed=3)
+        result = sim.run(dfg, MET())
+        result.schedule.validate(dfg)
+
+
+class TestExtensionStudies:
+    def test_heterogeneity_sweep_shape(self):
+        from repro.experiments.extensions import heterogeneity_sweep
+
+        t = heterogeneity_sweep(betas=(0.0, 1.0), alphas=(1.0, 4.0), n_graphs=2)
+        rows = {r[0]: r for r in t.rows}
+        # homogeneous systems give APT its biggest edge over MET
+        assert rows[0.0][2] > rows[1.0][2]
+        assert rows[0.0][2] > 10.0
+
+    def test_estimation_error_keeps_apt_ahead(self):
+        from repro.experiments.extensions import estimation_error_robustness
+
+        t = estimation_error_robustness(
+            sigmas=(0.0, 0.3), n_graphs=2, n_noise_seeds=2
+        )
+        for row in t.rows:
+            assert row[3] > 0.0  # APT improvement survives the noise

@@ -1,0 +1,93 @@
+"""Unit tests for metrics computation (λ stats, processor usage)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    LambdaStats,
+    ProcessorUsage,
+    SimulationMetrics,
+    compute_metrics,
+)
+from repro.core.schedule import Schedule
+from repro.core.system import CPU_GPU_FPGA
+from tests.test_schedule import entry
+
+
+class TestLambdaStats:
+    def test_from_delays_matches_eq11_eq12(self):
+        # Eq. (11): avg = total / N; eq. (12): population stddev.
+        delays = [2.0, 4.0, 6.0]
+        st = LambdaStats.from_delays(delays)
+        assert st.total == 12.0
+        assert st.count == 3
+        assert st.average == pytest.approx(4.0)
+        assert st.stddev == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_zero_delays_not_counted(self):
+        # N counts only occurrences where a delay actually happened.
+        st = LambdaStats.from_delays([0.0, 0.0, 3.0])
+        assert st.count == 1
+        assert st.total == 3.0
+        assert st.average == 3.0
+        assert st.stddev == 0.0
+
+    def test_empty(self):
+        st = LambdaStats.from_delays([])
+        assert st.total == 0.0 and st.count == 0
+        assert st.average == 0.0 and st.stddev == 0.0
+
+    def test_numerical_noise_ignored(self):
+        st = LambdaStats.from_delays([1e-12, 5.0])
+        assert st.count == 1
+
+
+class TestProcessorUsage:
+    def test_busy_and_utilization(self):
+        u = ProcessorUsage("cpu0", compute_time=30.0, transfer_time=10.0, idle_time=60.0)
+        assert u.busy_time == 40.0
+        assert u.utilization(100.0) == pytest.approx(0.4)
+        assert u.utilization(0.0) == 0.0
+
+
+class TestComputeMetrics:
+    def test_full_accounting(self):
+        system = CPU_GPU_FPGA()
+        s = Schedule(
+            [
+                # cpu0: transfer 2ms then exec 8ms
+                entry(kid=0, proc="cpu0", ready=0.0, transfer=0.0, start=2.0, finish=10.0),
+                # gpu0: exec from 5 to 20 after ready at 1 (lambda = 4)
+                entry(kid=1, proc="gpu0", ready=1.0, assign=5.0, start=5.0, finish=20.0),
+            ]
+        )
+        m = compute_metrics(s, system)
+        assert m.makespan == 20.0
+        assert m.usage["cpu0"].compute_time == pytest.approx(8.0)
+        assert m.usage["cpu0"].transfer_time == pytest.approx(2.0)
+        assert m.usage["cpu0"].idle_time == pytest.approx(10.0)
+        assert m.usage["gpu0"].compute_time == pytest.approx(15.0)
+        assert m.usage["fpga0"].idle_time == pytest.approx(20.0)
+        # λ (arrival-anchored): kernel 0 starts at 2, kernel 1 at 5.
+        assert m.lambda_stats.total == pytest.approx(7.0)
+        assert m.lambda_stats.count == 2
+        # queue wait (ready-anchored): 2 - 0 = 2 and 5 - 1 = 4.
+        assert m.queue_wait_stats.total == pytest.approx(6.0)
+        assert m.n_kernels == 2
+
+    def test_totals(self):
+        system = CPU_GPU_FPGA()
+        s = Schedule([entry(kid=0, start=0.0, finish=10.0)])
+        m = compute_metrics(s, system)
+        assert m.total_compute_time == pytest.approx(10.0)
+        assert m.total_transfer_time == 0.0
+        # two processors fully idle + the busy one has zero idle
+        assert m.total_idle_time == pytest.approx(20.0)
+        assert m.mean_utilization() == pytest.approx(1.0 / 3.0)
+
+    def test_empty_schedule(self):
+        system = CPU_GPU_FPGA()
+        m = compute_metrics(Schedule(), system)
+        assert m.makespan == 0.0
+        assert m.mean_utilization() == 0.0

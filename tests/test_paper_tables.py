@@ -1,0 +1,87 @@
+"""Tests on the transcribed thesis data (Tables 5–7, 14; graph sizes)."""
+
+import pytest
+
+from repro.core.system import ProcessorType
+from repro.data.paper_tables import (
+    FIGURE5_KERNELS,
+    HARDWARE_PLATFORMS,
+    PAPER_GRAPH_SIZES,
+    PAPER_KERNELS,
+    figure5_lookup_table,
+    paper_lookup_table,
+)
+
+CPU, GPU, FPGA = ProcessorType.CPU, ProcessorType.GPU, ProcessorType.FPGA
+
+
+class TestTable14:
+    def test_seven_kernels(self):
+        table = paper_lookup_table()
+        assert set(table.kernels) == set(PAPER_KERNELS)
+
+    def test_point_count(self):
+        # 3 LA kernels × 7 sizes + 4 OpenDwarfs kernels × 1 size, × 3 ptypes
+        assert len(paper_lookup_table()) == (3 * 7 + 4) * 3
+
+    def test_spot_values_match_publication(self):
+        t = paper_lookup_table()
+        assert t.time("matmul", 16_000_000, CPU) == 1967.286
+        assert t.time("matmul", 16_000_000, GPU) == 0.061
+        assert t.time("matmul", 16_000_000, FPGA) == 76293.945
+        assert t.time("cholesky", 250_000, FPGA) == 0.093
+        assert t.time("matinv", 698_896, GPU) == 22.352
+        assert t.time("gem", 2_070_376, GPU) == 4001.0
+
+    def test_table3_example_row(self):
+        # Table 3's worked example: matrix inverse at 836×836 = 698 896.
+        t = paper_lookup_table()
+        assert t.time("matinv", 698_896, CPU) == 148.387
+        assert t.time("matinv", 698_896, FPGA) == 110.597
+
+    def test_best_processor_structure(self):
+        # Dominant platforms per kernel (thesis §4.1 discussion).
+        t = paper_lookup_table()
+        assert t.best_processor("matmul", 64_000_000, (CPU, GPU, FPGA))[0] is GPU
+        assert t.best_processor("bfs", 2_034_736, (CPU, GPU, FPGA))[0] is FPGA
+        assert t.best_processor("nw", 16_777_216, (CPU, GPU, FPGA))[0] is CPU
+        assert t.best_processor("srad", 134_217_728, (CPU, GPU, FPGA))[0] is GPU
+        assert t.best_processor("cholesky", 250_000, (CPU, GPU, FPGA))[0] is FPGA
+
+    def test_heterogeneity_is_large(self):
+        # The thesis picks these kernels because their cross-platform
+        # spreads are huge; matmul's exceeds 10^6.
+        t = paper_lookup_table()
+        assert t.heterogeneity("matmul", 64_000_000, (CPU, GPU, FPGA)) > 1e6
+        assert t.heterogeneity("gem", 2_070_376, (CPU, GPU, FPGA)) > 100
+
+
+class TestFigure5Data:
+    def test_workload_composition(self):
+        kinds = [s.kernel for s in FIGURE5_KERNELS]
+        assert kinds == ["nw", "bfs", "bfs", "bfs", "cholesky"]
+
+    def test_lookup_matches_table7(self):
+        t = figure5_lookup_table()
+        assert t.time("nw", 16_777_216, CPU) == 112.0
+        assert t.time("bfs", 2_034_736, FPGA) == 106.0
+        assert t.time("cholesky", 250_000, GPU) == 2.749
+
+    def test_subset_of_full_table(self):
+        full = paper_lookup_table()
+        sub = figure5_lookup_table()
+        for e in sub.entries():
+            assert full.time(e.kernel, e.data_size, e.ptype) == e.time_ms
+
+
+class TestSuiteMetadata:
+    def test_ten_graph_sizes_from_tables_15_16(self):
+        assert PAPER_GRAPH_SIZES == (46, 58, 50, 73, 69, 81, 125, 93, 132, 157)
+
+    def test_hardware_provenance_recorded(self):
+        assert len(HARDWARE_PLATFORMS) == 2
+        assert any("Tesla K20" in hp.gpu for hp in HARDWARE_PLATFORMS)
+
+    def test_kernel_dwarf_mapping_covers_table5(self):
+        assert PAPER_KERNELS["nw"] == "dynamic_programming"
+        assert PAPER_KERNELS["srad"] == "structured_grids"

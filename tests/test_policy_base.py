@@ -1,0 +1,129 @@
+"""Unit tests for the policy interface layer (context helpers, StaticPlan)."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.policies.base import (
+    Assignment,
+    DynamicPolicy,
+    SchedulingContext,
+    StaticPlan,
+)
+from repro.core.system import ProcessorType
+from tests.test_simulator import dfg_of
+
+
+class ContextCapture(DynamicPolicy):
+    """Grabs the first context it sees, then behaves like OLB."""
+
+    name = "capture"
+
+    def __init__(self):
+        self.first_ctx: SchedulingContext | None = None
+
+    def reset(self):
+        self.first_ctx = None
+
+    def select(self, ctx):
+        if self.first_ctx is None:
+            self.first_ctx = ctx
+        out = []
+        idle = [v.name for v in ctx.idle_processors()]
+        for kid in ctx.ready:
+            if not idle:
+                break
+            out.append(Assignment(kernel_id=kid, processor=idle.pop(0)))
+        return out
+
+
+class TestSchedulingContext:
+    @pytest.fixture
+    def captured(self, synth_sim):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform", deps=[(0, 2)])
+        policy = ContextCapture()
+        synth_sim.run(dfg, policy)
+        return policy.first_ctx
+
+    def test_initial_ready_set_is_entry_kernels(self, captured):
+        assert captured.ready == (0, 1)
+
+    def test_all_processors_initially_idle(self, captured):
+        assert len(captured.idle_processors()) == 3
+
+    def test_exec_time_helpers_agree(self, captured):
+        t_by_type = captured.exec_time(0, ProcessorType.CPU)
+        t_by_name = captured.exec_time_on(0, "cpu0")
+        assert t_by_type == t_by_name == 10.0
+
+    def test_best_processor_type(self, captured):
+        ptype, x = captured.best_processor_type(1)
+        assert ptype is ProcessorType.GPU and x == 10.0
+
+    def test_data_bytes_uses_element_size(self, captured):
+        assert captured.data_bytes(0) == 1_000_000 * 4
+
+    def test_transfer_time_zero_without_predecessors(self, captured):
+        assert captured.transfer_time(0, "fpga0") == 0.0
+
+
+class TestStaticPlan:
+    def test_validate_accepts_complete_plan(self, system):
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        plan = StaticPlan(
+            processor_of={0: "cpu0", 1: "gpu0"}, priority={0: 0, 1: 1}
+        )
+        plan.validate(dfg, system)
+
+    def test_validate_rejects_missing_kernel(self, system):
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        plan = StaticPlan(processor_of={0: "cpu0"}, priority={0: 0})
+        with pytest.raises(ValueError, match="every kernel"):
+            plan.validate(dfg, system)
+
+    def test_validate_rejects_unknown_processor(self, system):
+        dfg = dfg_of("fast_cpu")
+        plan = StaticPlan(processor_of={0: "tpu9"}, priority={0: 0})
+        with pytest.raises(ValueError, match="unknown processor"):
+            plan.validate(dfg, system)
+
+    def test_validate_rejects_duplicate_priorities(self, system):
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        plan = StaticPlan(
+            processor_of={0: "cpu0", 1: "gpu0"}, priority={0: 0, 1: 0}
+        )
+        with pytest.raises(ValueError, match="unique"):
+            plan.validate(dfg, system)
+
+    def test_validate_rejects_missing_priority(self, system):
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        plan = StaticPlan(
+            processor_of={0: "cpu0", 1: "gpu0"}, priority={0: 0}
+        )
+        with pytest.raises(ValueError, match="rank"):
+            plan.validate(dfg, system)
+
+
+class TestProcessorView:
+    def test_views_reflect_busy_state(self, synth_sim):
+        seen = {}
+
+        class Snoop(DynamicPolicy):
+            name = "snoop"
+
+            def select(self, ctx):
+                out = []
+                idle = [v.name for v in ctx.idle_processors()]
+                if ctx.time > 0 and not seen:
+                    seen.update(ctx.views)
+                for kid in ctx.ready:
+                    if not idle:
+                        break
+                    out.append(Assignment(kernel_id=kid, processor=idle.pop(0)))
+                return out
+
+        dfg = dfg_of("fast_cpu", "fast_cpu", "fast_cpu", "fast_cpu")
+        synth_sim.run(dfg, Snoop())
+        # At the first post-zero decision point, at least one processor is
+        # still busy (the 100ms fast_cpu-on-gpu run) and reports free_at.
+        busy = [v for v in seen.values() if v.busy]
+        assert busy and all(v.free_at > 0 for v in busy)

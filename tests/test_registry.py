@@ -1,0 +1,47 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.policies.base import DynamicPolicy
+from repro.policies.registry import (
+    PAPER_POLICIES,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+
+
+class TestRegistry:
+    def test_all_thesis_policies_available(self):
+        available = available_policies()
+        for name in PAPER_POLICIES:
+            assert name in available
+
+    def test_get_policy_instantiates(self):
+        assert get_policy("met").name == "met"
+        assert get_policy("heft").name == "heft"
+
+    def test_get_policy_forwards_kwargs(self):
+        assert get_policy("apt", alpha=7.5).alpha == 7.5
+
+    def test_case_insensitive(self):
+        assert get_policy("MET").name == "met"
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_policy("nonexistent")
+
+    def test_register_custom_policy(self):
+        class MyPolicy(DynamicPolicy):
+            name = "custom_test_policy"
+
+            def select(self, ctx):
+                return []
+
+        register_policy("custom_test_policy", MyPolicy)
+        assert get_policy("custom_test_policy").name == "custom_test_policy"
+        with pytest.raises(ValueError, match="already"):
+            register_policy("custom_test_policy", MyPolicy)
+
+    def test_paper_policy_count_is_seven(self):
+        assert len(PAPER_POLICIES) == 7

@@ -1,0 +1,97 @@
+"""Unit tests for text rendering (tables, figures, Gantt charts)."""
+
+import pytest
+
+from repro.analysis.gantt import ascii_gantt
+from repro.core.schedule import Schedule
+from repro.experiments.report import (
+    FigureResult,
+    TableResult,
+    render_figure,
+    render_table,
+)
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+
+class TestTableResult:
+    @pytest.fixture
+    def table(self):
+        return TableResult(
+            title="T",
+            headers=("Graph", "APT", "MET"),
+            rows=((1, 10.5, 12.0), (2, 20.0, 21.0)),
+            notes="note",
+        )
+
+    def test_column_extraction(self, table):
+        assert table.column("APT") == [10.5, 20.0]
+        with pytest.raises(ValueError):
+            table.column("GHOST")
+
+    def test_render_contains_everything(self, table):
+        text = render_table(table)
+        assert "T" in text and "APT" in text and "note" in text
+        assert "10.5" in text.replace(",", "")
+
+    def test_render_alignment_consistent(self, table):
+        lines = render_table(table).splitlines()
+        data_lines = [l for l in lines if "|" in l]
+        assert len({len(l) for l in data_lines}) == 1
+
+
+class TestFigureResult:
+    def test_series_length_validated(self):
+        with pytest.raises(ValueError):
+            FigureResult(
+                title="F",
+                x_label="alpha",
+                x_values=(1, 2),
+                series={"a": (1.0,)},
+            )
+
+    def test_render_mentions_series_and_values(self):
+        fig = FigureResult(
+            title="F",
+            x_label="alpha",
+            x_values=(1.5, 4.0),
+            series={"4 GBps": (100.0, 50.0)},
+        )
+        text = render_figure(fig)
+        assert "F" in text and "4 GBps" in text
+        assert "alpha=1.5" in text
+
+    def test_render_bar_lengths_scale(self):
+        fig = FigureResult(
+            title="F",
+            x_label="x",
+            x_values=(1, 2),
+            series={"s": (100.0, 50.0)},
+        )
+        lines = [l for l in render_figure(fig).splitlines() if "#" in l]
+        assert lines[0].count("#") > lines[1].count("#")
+
+
+class TestGantt:
+    def test_renders_all_processors(self, synth_sim, system):
+        result = synth_sim.run(dfg_of("fast_cpu", "fast_gpu", "fast_fpga"), MET())
+        text = ascii_gantt(result.schedule, system)
+        for p in ("cpu0", "gpu0", "fpga0"):
+            assert p in text
+
+    def test_shows_transfer_shading(self, synth_sim, system):
+        result = synth_sim.run(dfg_of("fast_cpu", "fast_gpu", deps=[(0, 1)]), MET())
+        assert "░" in ascii_gantt(result.schedule, system, width=400)
+
+    def test_empty_schedule(self, system):
+        assert "empty" in ascii_gantt(Schedule(), system)
+
+    def test_width_validation(self, system):
+        with pytest.raises(ValueError):
+            ascii_gantt(Schedule(), system, width=5)
+
+    def test_idle_processor_rendered_as_dots(self, synth_sim, system):
+        result = synth_sim.run(dfg_of("fast_cpu"), MET())
+        lines = ascii_gantt(result.schedule, system).splitlines()
+        fpga_line = next(l for l in lines if l.startswith("fpga0"))
+        assert set(fpga_line.split("|")[1]) == {"·"}

@@ -1,0 +1,174 @@
+"""Unit tests for schedule records and feasibility validation."""
+
+import pytest
+
+from repro.core.schedule import Schedule, ScheduleEntry
+from repro.graphs.dfg import DFG, KernelSpec
+
+
+def entry(
+    kid=0,
+    proc="cpu0",
+    ready=0.0,
+    assign=None,
+    transfer=None,
+    start=None,
+    finish=None,
+    kernel="k",
+    alt=False,
+) -> ScheduleEntry:
+    assign = ready if assign is None else assign
+    transfer = assign if transfer is None else transfer
+    start = transfer if start is None else start
+    finish = start + 10.0 if finish is None else finish
+    return ScheduleEntry(
+        kernel_id=kid,
+        kernel=kernel,
+        data_size=100,
+        processor=proc,
+        ptype="cpu",
+        ready_time=ready,
+        assign_time=assign,
+        transfer_start=transfer,
+        exec_start=start,
+        finish_time=finish,
+        used_alternative=alt,
+    )
+
+
+class TestScheduleEntry:
+    def test_derived_times(self):
+        e = entry(ready=1.0, assign=2.0, transfer=3.0, start=5.0, finish=9.0)
+        assert e.transfer_time == pytest.approx(2.0)
+        assert e.exec_time == pytest.approx(4.0)
+        assert e.lambda_delay == pytest.approx(5.0)  # start - arrival(0)
+        assert e.queue_wait == pytest.approx(4.0)  # start - ready
+
+    def test_timeline_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            entry(ready=5.0, assign=1.0)
+        with pytest.raises(ValueError):
+            entry(start=10.0, finish=10.0)  # zero-duration execution
+
+    def test_no_transfer_means_equal_timestamps(self):
+        e = entry(ready=0.0, start=0.0, finish=4.0)
+        assert e.transfer_time == 0.0
+        assert e.lambda_delay == 0.0
+
+    def test_arrival_after_ready_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="arrives"):
+            ScheduleEntry(
+                kernel_id=0,
+                kernel="k",
+                data_size=1,
+                processor="cpu0",
+                ptype="cpu",
+                ready_time=0.0,
+                assign_time=0.0,
+                transfer_start=0.0,
+                exec_start=0.0,
+                finish_time=1.0,
+                arrival_time=5.0,
+            )
+
+
+class TestSchedule:
+    def test_makespan_is_latest_finish(self):
+        s = Schedule([entry(kid=0, finish=10.0), entry(kid=1, proc="gpu0", finish=25.0)])
+        assert s.makespan == 25.0
+
+    def test_empty_schedule(self):
+        s = Schedule()
+        assert s.makespan == 0.0
+        assert len(s) == 0
+
+    def test_duplicate_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule([entry(kid=1), entry(kid=1, proc="gpu0")])
+        s = Schedule([entry(kid=1)])
+        with pytest.raises(ValueError):
+            s.add(entry(kid=1))
+
+    def test_indexing(self):
+        s = Schedule([entry(kid=3)])
+        assert s[3].kernel_id == 3
+        assert 3 in s and 4 not in s
+        with pytest.raises(KeyError):
+            s[4]
+
+    def test_by_processor_groups_and_orders(self):
+        s = Schedule(
+            [
+                entry(kid=0, proc="cpu0", ready=0.0, start=0.0, finish=5.0),
+                entry(kid=1, proc="cpu0", ready=5.0, start=5.0, finish=9.0),
+                entry(kid=2, proc="gpu0", ready=0.0, start=0.0, finish=3.0),
+            ]
+        )
+        groups = s.by_processor()
+        assert [e.kernel_id for e in groups["cpu0"]] == [0, 1]
+        assert [e.kernel_id for e in groups["gpu0"]] == [2]
+
+
+class TestValidation:
+    @pytest.fixture
+    def chain(self) -> DFG:
+        return DFG.from_kernels(
+            [KernelSpec("k", 100), KernelSpec("k", 100)], dependencies=[(0, 1)]
+        )
+
+    def test_valid_schedule_passes(self, chain):
+        s = Schedule(
+            [
+                entry(kid=0, ready=0.0, start=0.0, finish=5.0),
+                entry(kid=1, proc="gpu0", ready=5.0, start=5.0, finish=8.0),
+            ]
+        )
+        s.validate(chain)
+
+    def test_missing_kernel_detected(self, chain):
+        s = Schedule([entry(kid=0)])
+        with pytest.raises(ValueError, match="missing"):
+            s.validate(chain)
+
+    def test_extra_kernel_detected(self, chain):
+        s = Schedule(
+            [
+                entry(kid=0, finish=5.0),
+                entry(kid=1, ready=5.0, assign=5.0, start=5.0, finish=6.0, proc="gpu0"),
+                entry(kid=7, proc="fpga0"),
+            ]
+        )
+        with pytest.raises(ValueError, match="extra"):
+            s.validate(chain)
+
+    def test_processor_overlap_detected(self, chain):
+        s = Schedule(
+            [
+                entry(kid=0, ready=0.0, start=0.0, finish=10.0),
+                entry(kid=1, ready=0.0, start=5.0, finish=20.0),  # same cpu0!
+            ]
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            s.validate(chain)
+
+    def test_dependency_violation_detected(self, chain):
+        s = Schedule(
+            [
+                entry(kid=0, ready=0.0, start=0.0, finish=10.0),
+                # kernel 1 starts before its predecessor finished
+                entry(kid=1, proc="gpu0", ready=0.0, start=3.0, finish=12.0),
+            ]
+        )
+        with pytest.raises(ValueError, match="dependency"):
+            s.validate(chain)
+
+    def test_back_to_back_on_one_processor_allowed(self, chain):
+        s = Schedule(
+            [
+                entry(kid=0, ready=0.0, start=0.0, finish=5.0),
+                entry(kid=1, ready=5.0, start=5.0, finish=9.0),
+            ]
+        )
+        s.validate(chain)

@@ -1,0 +1,60 @@
+"""Unit tests for DFG JSON serialization."""
+
+import pytest
+
+from repro.graphs.serialization import (
+    dfg_from_dict,
+    dfg_to_dict,
+    load_dfg,
+    save_dfg,
+)
+from tests.conftest import make_synth_population
+from tests.test_simulator import dfg_of
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform", deps=[(0, 2), (1, 2)])
+        dfg.name = "rt"
+        back = dfg_from_dict(dfg_to_dict(dfg))
+        assert back.name == "rt"
+        assert back.kernel_ids() == dfg.kernel_ids()
+        assert back.edges() == dfg.edges()
+        assert [back.spec(i) for i in back] == [dfg.spec(i) for i in dfg]
+
+    def test_file_round_trip(self, tmp_path, rng):
+        from repro.graphs.generators import make_type2_dfg
+
+        dfg = make_type2_dfg(20, rng=rng, population=make_synth_population())
+        path = tmp_path / "dfg.json"
+        save_dfg(dfg, path)
+        back = load_dfg(path)
+        assert back.edges() == dfg.edges()
+        assert [back.spec(i) for i in back] == [dfg.spec(i) for i in dfg]
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            dfg_from_dict({"version": 99, "kernels": []})
+
+    def test_malformed_kernels_rejected(self):
+        with pytest.raises(ValueError, match="kernels"):
+            dfg_from_dict({"version": 1, "kernels": "nope"})
+
+    def test_cyclic_input_rejected(self):
+        data = {
+            "version": 1,
+            "name": "bad",
+            "kernels": [
+                {"id": 0, "kernel": "k", "data_size": 1},
+                {"id": 1, "kernel": "k", "data_size": 1},
+            ],
+            "dependencies": [[0, 1], [1, 0]],
+        }
+        with pytest.raises(ValueError):
+            dfg_from_dict(data)
+
+    def test_empty_graph_round_trip(self):
+        from repro.graphs.dfg import DFG
+
+        back = dfg_from_dict(dfg_to_dict(DFG("empty")))
+        assert len(back) == 0

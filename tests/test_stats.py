@@ -1,0 +1,73 @@
+"""Unit tests for improvement statistics (thesis eqs. (13)-(14))."""
+
+import pytest
+
+from repro.analysis.stats import (
+    improvement_percent,
+    improvement_vs_second_best,
+    occurrences_of_better_solutions,
+    summarize_values,
+)
+
+
+class TestImprovementPercent:
+    def test_positive_improvement(self):
+        assert improvement_percent(100.0, 84.0) == pytest.approx(16.0)
+
+    def test_negative_when_candidate_loses(self):
+        assert improvement_percent(100.0, 103.0) == pytest.approx(-3.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 10.0)
+
+
+class TestImprovementVsSecondBest:
+    def test_finds_best_other_policy(self):
+        values = {
+            "apt": [80.0, 90.0],
+            "met": [100.0, 100.0],
+            "spn": [300.0, 500.0],
+        }
+        impr, second = improvement_vs_second_best(values, "apt")
+        assert second == "met"
+        assert impr == pytest.approx(15.0)
+
+    def test_missing_candidate_rejected(self):
+        with pytest.raises(KeyError):
+            improvement_vs_second_best({"met": [1.0]}, "apt")
+
+    def test_requires_other_policies(self):
+        with pytest.raises(ValueError):
+            improvement_vs_second_best({"apt": [1.0]}, "apt")
+
+    def test_negative_when_second_best_wins(self):
+        values = {"apt": [110.0], "met": [100.0]}
+        impr, _ = improvement_vs_second_best(values, "apt")
+        assert impr == pytest.approx(-10.0)
+
+
+class TestOccurrences:
+    def test_counts_strict_wins(self):
+        values = {
+            "apt": [1.0, 5.0, 2.0],
+            "met": [2.0, 5.0, 3.0],
+            "spn": [9.0, 9.0, 1.0],
+        }
+        # graph 0: apt < all; graph 1: tie with met; graph 2: spn wins
+        assert occurrences_of_better_solutions(values, "apt") == 1
+
+    def test_all_wins(self):
+        values = {"apt": [1.0, 1.0], "met": [2.0, 2.0]}
+        assert occurrences_of_better_solutions(values, "apt") == 2
+
+
+class TestSummarize:
+    def test_moments(self):
+        s = summarize_values([2.0, 4.0, 6.0])
+        assert s["mean"] == pytest.approx(4.0)
+        assert s["min"] == 2.0 and s["max"] == 6.0
+        assert s["n"] == 3
+
+    def test_empty(self):
+        assert summarize_values([])["n"] == 0

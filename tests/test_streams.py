@@ -1,0 +1,181 @@
+"""Tests for streaming arrivals (online workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.graphs.dfg import DFG
+from repro.graphs.streams import (
+    ApplicationArrival,
+    ApplicationStream,
+    periodic_stream,
+    poisson_stream,
+)
+from repro.policies.apt import APT
+from repro.policies.met import MET
+from repro.policies.olb import OLB
+from tests.conftest import spec
+from tests.test_simulator import dfg_of
+
+
+def two_kernel_app(kernel="fast_cpu") -> DFG:
+    return dfg_of(kernel, kernel, deps=[(0, 1)])
+
+
+class TestSimulatorArrivals:
+    def test_kernel_not_started_before_arrival(self, synth_sim):
+        dfg = dfg_of("fast_cpu")
+        result = synth_sim.run(dfg, MET(), arrivals={0: 25.0})
+        e = result.schedule[0]
+        assert e.arrival_time == 25.0
+        assert e.exec_start == pytest.approx(25.0)
+        assert e.lambda_delay == pytest.approx(0.0)
+
+    def test_ready_is_max_of_arrival_and_dependencies(self, synth_sim):
+        # kernel 1 depends on kernel 0 (finishes at 10) but arrives at 50.
+        dfg = dfg_of("fast_cpu", "fast_cpu", deps=[(0, 1)])
+        result = synth_sim.run(dfg, MET(), arrivals={1: 50.0})
+        assert result.schedule[1].ready_time == pytest.approx(50.0)
+        assert result.schedule[1].exec_start == pytest.approx(50.0)
+
+    def test_dependency_later_than_arrival(self, synth_sim):
+        dfg = dfg_of("fast_cpu", "fast_cpu", deps=[(0, 1)])
+        result = synth_sim.run(dfg, MET(), arrivals={1: 3.0})
+        # deps finish at 10 > arrival 3
+        assert result.schedule[1].ready_time == pytest.approx(10.0)
+        assert result.schedule[1].lambda_delay == pytest.approx(7.0)
+
+    def test_late_arrival_keeps_processors_busy_with_other_work(self, synth_sim):
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        result = synth_sim.run(dfg, MET(), arrivals={1: 2.0})
+        assert result.schedule[0].exec_start == 0.0
+        assert result.schedule[1].exec_start == pytest.approx(2.0)
+
+    def test_unknown_kernel_arrival_rejected(self, synth_sim):
+        with pytest.raises(KeyError):
+            synth_sim.run(dfg_of("fast_cpu"), MET(), arrivals={9: 1.0})
+
+    def test_negative_arrival_rejected(self, synth_sim):
+        with pytest.raises(ValueError):
+            synth_sim.run(dfg_of("fast_cpu"), MET(), arrivals={0: -1.0})
+
+    def test_lambda_anchored_at_arrival(self, synth_sim):
+        # Two fast_gpu kernels, second arrives at 5: it waits for the GPU
+        # until 10, so λ = 10 − 5 = 5.
+        dfg = dfg_of("fast_gpu", "fast_gpu")
+        result = synth_sim.run(dfg, MET(), arrivals={1: 5.0})
+        assert result.schedule[1].lambda_delay == pytest.approx(5.0)
+
+    def test_schedule_still_validates(self, synth_sim):
+        dfg = dfg_of("fast_cpu", "fast_gpu", "uniform", deps=[(0, 2)])
+        result = synth_sim.run(dfg, OLB(), arrivals={1: 7.0, 2: 12.0})
+        result.schedule.validate(dfg)
+
+
+class TestApplicationStream:
+    def test_merged_renumbers_contiguously(self):
+        stream = ApplicationStream(
+            [
+                ApplicationArrival(two_kernel_app(), 0.0),
+                ApplicationArrival(two_kernel_app("fast_gpu"), 40.0),
+            ]
+        )
+        merged, arrivals = stream.merged()
+        assert merged.kernel_ids() == [0, 1, 2, 3]
+        assert merged.edges() == [(0, 1), (2, 3)]
+        assert arrivals == {0: 0.0, 1: 0.0, 2: 40.0, 3: 40.0}
+
+    def test_applications_sorted_by_arrival(self):
+        stream = ApplicationStream(
+            [
+                ApplicationArrival(two_kernel_app(), 50.0),
+                ApplicationArrival(two_kernel_app(), 0.0),
+            ]
+        )
+        assert [a.arrival_ms for a in stream] == [0.0, 50.0]
+
+    def test_counts(self):
+        stream = ApplicationStream([ApplicationArrival(two_kernel_app(), 5.0)])
+        assert len(stream) == 1
+        assert stream.n_kernels == 2
+        assert stream.span_ms == 5.0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationStream([])
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationArrival(DFG(), 0.0)
+
+    def test_merged_runs_end_to_end(self, synth_sim):
+        stream = ApplicationStream(
+            [
+                ApplicationArrival(two_kernel_app(), 0.0),
+                ApplicationArrival(two_kernel_app("fast_gpu"), 15.0),
+            ]
+        )
+        merged, arrivals = stream.merged()
+        result = synth_sim.run(merged, APT(alpha=4.0), arrivals=arrivals)
+        result.schedule.validate(merged)
+        # the second app's kernels cannot start before t=15
+        assert all(
+            result.schedule[k].exec_start >= 15.0 for k in (2, 3)
+        )
+
+
+class TestStreamGenerators:
+    def test_poisson_first_arrival_at_zero(self, rng):
+        stream = poisson_stream(5, 100.0, lambda i, r: two_kernel_app(), rng)
+        assert [a.arrival_ms for a in stream][0] == 0.0
+        assert len(stream) == 5
+
+    def test_poisson_deterministic_given_seed(self):
+        a = poisson_stream(
+            6, 50.0, lambda i, r: two_kernel_app(), np.random.default_rng(3)
+        )
+        b = poisson_stream(
+            6, 50.0, lambda i, r: two_kernel_app(), np.random.default_rng(3)
+        )
+        assert [x.arrival_ms for x in a] == [x.arrival_ms for x in b]
+
+    def test_poisson_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_stream(0, 10.0, lambda i, r: two_kernel_app(), rng)
+        with pytest.raises(ValueError):
+            poisson_stream(3, 0.0, lambda i, r: two_kernel_app(), rng)
+
+    def test_periodic_spacing(self, rng):
+        stream = periodic_stream(4, 25.0, lambda i, r: two_kernel_app(), rng)
+        assert [a.arrival_ms for a in stream] == [0.0, 25.0, 50.0, 75.0]
+
+    def test_factory_receives_index(self, rng):
+        seen = []
+        periodic_stream(
+            3, 1.0, lambda i, r: (seen.append(i), two_kernel_app())[1], rng
+        )
+        assert seen == [0, 1, 2]
+
+
+class TestStreamingBehaviour:
+    def test_saturated_stream_apt_beats_met(self, synth_sim_no_transfer, rng):
+        # A bursty stream of GPU-favourite work: MET funnels everything to
+        # the GPU while APT spills within the threshold.
+        apps = [
+            ApplicationArrival(dfg_of("fast_gpu", "fast_gpu", "fast_gpu"), i * 5.0)
+            for i in range(4)
+        ]
+        merged, arrivals = ApplicationStream(apps).merged()
+        met = synth_sim_no_transfer.run(merged, MET(), arrivals=arrivals)
+        apt = synth_sim_no_transfer.run(merged, APT(alpha=5.0), arrivals=arrivals)
+        assert apt.makespan < met.makespan
+
+    def test_sparse_stream_has_no_queueing(self, synth_sim, rng):
+        # Inter-arrival far above service time: every kernel starts at its
+        # arrival instant, λ = 0.
+        stream = periodic_stream(
+            3, 1_000.0, lambda i, r: dfg_of("fast_cpu"), rng
+        )
+        merged, arrivals = stream.merged()
+        result = synth_sim.run(merged, MET(), arrivals=arrivals)
+        assert result.metrics.lambda_stats.total == pytest.approx(0.0)

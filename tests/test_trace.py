@@ -1,0 +1,44 @@
+"""Unit tests for state traces (the Figure 5 view)."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.core.trace import StateTrace
+from repro.policies.met import MET
+from tests.test_simulator import dfg_of
+
+
+class TestStateTrace:
+    @pytest.fixture
+    def traced(self, system, synth_lookup):
+        sim = Simulator(system, synth_lookup, collect_trace=True)
+        dfg = dfg_of("fast_cpu", "fast_gpu")
+        return sim.run(dfg, MET())
+
+    def test_snapshot_at_time_zero_shows_both_running(self, traced):
+        occ = traced.trace.occupancy_at(0.0)
+        assert occ["cpu0"] == "0-fast_cpu"
+        assert occ["gpu0"] == "1-fast_gpu"
+        assert occ["fpga0"] is None
+
+    def test_final_snapshot_is_all_idle(self, traced):
+        last = traced.trace.snapshots[-1]
+        assert all(v is None for v in last.occupancy.values())
+
+    def test_format_contains_idle_and_kernels(self, traced, system):
+        text = traced.trace.format(system)
+        assert "idle" in text
+        assert "0-fast_cpu" in text
+
+    def test_occupancy_before_first_snapshot_raises(self, traced):
+        with pytest.raises(ValueError):
+            traced.trace.occupancy_at(-1.0)
+
+    def test_rebuild_from_schedule_matches(self, traced, system):
+        rebuilt = StateTrace.from_schedule(traced.schedule, system)
+        assert len(rebuilt) == len(traced.trace)
+        assert rebuilt.occupancy_at(0.0) == traced.trace.occupancy_at(0.0)
+
+    def test_snapshot_count_bounded_by_events(self, traced):
+        # one snapshot per distinct start/finish instant
+        assert 2 <= len(traced.trace) <= 4
