@@ -1,6 +1,6 @@
 """Shared fixtures for the benchmark harness.
 
-Each benchmark module regenerates one thesis table/figure group, times a
+Each benchmark module regenerates one paper table/figure group, times a
 representative simulation with pytest-benchmark, asserts the published
 *shape*, and writes the rendered artifact to ``results/``.
 """

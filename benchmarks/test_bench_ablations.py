@@ -1,11 +1,9 @@
-"""Ablation benches — the design-choice studies DESIGN.md calls out.
+"""Ablation benches — the design-choice studies docs/architecture.md calls out.
 
-Not thesis experiments; these quantify (1) the transfer term in APT's
+Not paper experiments; these quantify (1) the transfer term in APT's
 threshold test, (2) the ready-queue discipline, and (3) the future-work
 remaining-time guard (APT-RT).
 """
-
-import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.experiments import ablations

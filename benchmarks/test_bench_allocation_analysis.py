@@ -3,7 +3,7 @@
 The appendix tables: how many kernels each experiment diverted to an
 alternative processor, broken down by kernel type.  Shape assertions:
 α = 1.5 produces (almost) no alternative assignments; counts grow sharply
-by α = 4, mirroring the thesis's appendix B.
+by α = 4, mirroring the paper's appendix B.
 """
 
 import pytest
@@ -32,8 +32,8 @@ def test_bench_allocation_analysis(benchmark, runner, results_dir, table_fn, nam
         alpha: sum(t.column("Alt assignments")) for alpha, t in per_alpha.items()
     }
     assert totals[1.5] <= totals[4.0]
-    assert totals[1.5] < 20, "α=1.5 all-but-mimics MET (thesis Table 15)"
-    assert totals[4.0] >= 10, "α=4 diverts substantially (thesis appendix B)"
+    assert totals[1.5] < 20, "α=1.5 all-but-mimics MET (paper Table 15)"
+    assert totals[4.0] >= 10, "α=4 diverts substantially (paper appendix B)"
     benchmark.extra_info["alt_assignments_by_alpha"] = totals
 
     artifact = "\n\n".join(

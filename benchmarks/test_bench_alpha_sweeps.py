@@ -1,6 +1,6 @@
 """Figures 7 and 9 — APT makespan vs α and transfer rate (the "valley").
 
-Asserts the thesis's central tuning claim: mean makespan falls from
+Asserts the paper's central tuning claim: mean makespan falls from
 α = 1.5 to the break threshold α = 4, then rises again, for both DFG
 types and both PCIe rates.
 """
@@ -29,7 +29,7 @@ def test_bench_alpha_valley(benchmark, runner, results_dir, dfg_type, figure_fn,
         at = dict(zip(fig.x_values, rate_series))
         assert at[4.0] < at[1.5], "left slope of the valley"
         assert at[4.0] < at[16.0], "right slope of the valley"
-        assert at[4.0] == min(at.values()), "thesis: threshold_brk at α=4"
+        assert at[4.0] == min(at.values()), "paper: threshold_brk at α=4"
     write_artifact(results_dir, f"{name}.txt", render_figure(fig))
     benchmark.extra_info["mean_makespan_alpha4_4gbps"] = dict(
         zip(fig.x_values, fig.series["4 GBps"])

@@ -1,7 +1,7 @@
 """Extension benches: streaming load, extended policy pool, energy.
 
-Studies the thesis motivates (online streams §3.2, power efficiency §1)
-but does not run — see EXPERIMENTS.md "Extras beyond the paper".
+Studies the paper motivates (online streams §3.2, power efficiency §1)
+but does not run — see docs/architecture.md "Reproduction notes".
 """
 
 import pytest

@@ -1,12 +1,10 @@
 """Table 13 — improvement metrics for APT vs the 2nd-best dynamic policy.
 
-The thesis's headline table: % improvement in mean makespan and mean λ
+The paper's headline table: % improvement in mean makespan and mean λ
 for α ∈ {1.5, 2, 4, 8, 16} on both DFG types.  Shape assertions: α = 4 is
 the best column and is solidly positive; the α ≤ 2 rows are ≈ 0 (slightly
-negative in the thesis too).
+negative in the paper too).
 """
-
-import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.experiments import tables
@@ -24,13 +22,13 @@ def test_bench_table13_improvements(benchmark, runner, results_dir):
     benchmark(regenerate)
 
     rows = {row[0]: row for row in t13.rows}
-    # α=4: positive exec improvement on both types (thesis: 18.2 / 15.8).
+    # α=4: positive exec improvement on both types (paper: 18.2 / 15.8).
     assert rows[4.0][1] > 5.0
     assert rows[4.0][3] > 5.0
     # α=4 is the best exec column for both types.
     for col in (1, 3):
         assert rows[4.0][col] == max(r[col] for r in t13.rows)
-    # α ≤ 2 is within noise of MET (thesis: -0.1 to -0.3).
+    # α ≤ 2 is within noise of MET (paper: -0.1 to -0.3).
     for alpha in (1.5, 2.0):
         assert abs(rows[alpha][1]) < 2.0
         assert abs(rows[alpha][3]) < 2.0

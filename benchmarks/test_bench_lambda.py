@@ -1,7 +1,7 @@
 """Tables 11/12 and Figures 11/12 — λ-delay comparisons.
 
-Asserts the thesis's λ claims that are robust to our λ accounting (see
-EXPERIMENTS.md): APT(α=4) cuts λ below MET, the Type-2 λ curve shows the
+Asserts the paper's λ claims that are robust to our λ accounting (see
+docs/architecture.md): APT(α=4) cuts λ below MET, the Type-2 λ curve shows the
 valley, and the λ improvement exceeds the makespan improvement (§4.4).
 """
 

@@ -1,6 +1,6 @@
 """Scheduler-overhead microbenchmarks.
 
-The thesis motivates APT partly on scheduling cost: "for applications with
+The paper motivates APT partly on scheduling cost: "for applications with
 high degree of parallelism and very deep DFG, the ranking step [of static
 policies] can be very time consuming" (§2.5.3).  These benches measure the
 actual decision cost of each policy on the largest evaluation graph

@@ -1,6 +1,6 @@
 """Tables 8–10 and Figures 6/8/10 — makespan comparisons of all policies.
 
-Regenerates the thesis's total-computation-time tables on the seeded
+Regenerates the paper's total-computation-time tables on the seeded
 10-graph suites and asserts the published relationships: APT(α=1.5) ≈ MET,
 APT(α=4) wins ≥9/10 Type-2 graphs, and the naive dynamic policies trail
 by large factors.
@@ -24,7 +24,7 @@ def test_bench_table8_type1_alpha15(benchmark, runner, results_dir):
     t = tables.table8(runner=runner)
     apt, met = t.column("APT"), t.column("MET")
     assert all(abs(a - m) / m < 0.02 for a, m in zip(apt, met)), \
-        "APT(1.5) must mimic MET (thesis §4.2.1)"
+        "APT(1.5) must mimic MET (paper §4.2.1)"
     write_artifact(results_dir, "table8.txt", render_table(t))
 
 
@@ -51,7 +51,7 @@ def test_bench_table10_type2_alpha4(benchmark, runner, results_dir):
 
     t = tables.table10(runner=runner)
     wins = sum(1 for a, m in zip(t.column("APT"), t.column("MET")) if a < m - 1e-9)
-    assert wins >= 9, "thesis Table 10: APT(α=4) wins 9/10 graphs"
+    assert wins >= 9, "paper Table 10: APT(α=4) wins 9/10 graphs"
     write_artifact(results_dir, "table10.txt", render_table(t))
 
 

@@ -20,7 +20,6 @@ Run:  python examples/medical_imaging_pipeline.py
 
 from repro import APT, CPU_GPU_FPGA, DFG, MET, KernelSpec, Simulator, paper_lookup_table
 from repro.analysis.gantt import ascii_gantt
-from repro.core.trace import StateTrace
 
 N_FRAMES = 4
 

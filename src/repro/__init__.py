@@ -5,11 +5,11 @@ heterogeneous CPU/GPU/FPGA systems.  It provides:
 
 * a discrete-event simulator of a heterogeneous system with PCIe-style links
   (:mod:`repro.core`),
-* the APT scheduling heuristic plus the six baselines the thesis compares
+* the APT scheduling heuristic plus the six baselines the paper compares
   against (:mod:`repro.policies`),
 * the paper's workload model — DFG Type-1 / Type-2 generators over seven
   real kernels (:mod:`repro.graphs`, :mod:`repro.kernels`),
-* the measured execution-time lookup table from the thesis
+* the measured execution-time lookup table from the paper
   (:mod:`repro.data`), and
 * a full experiment harness reproducing every table and figure of the
   evaluation chapter (:mod:`repro.experiments`).

@@ -1,7 +1,7 @@
 """ASCII Gantt charts of schedules.
 
 Quick terminal visualization of who ran what when — the textual analogue
-of the thesis's Figure 5 schedule listings, but proportional in time.
+of the paper's Figure 5 schedule listings, but proportional in time.
 """
 
 from __future__ import annotations

@@ -1,11 +1,11 @@
-"""Improvement statistics (thesis §4.4, eqs. (13)–(14)).
+"""Improvement statistics (paper §4.4, eqs. (13)–(14)).
 
 The headline metric compares APT's average execution time (or λ delay)
 against the *second-best dynamic policy* over a suite of graphs::
 
     Improvement = (avg_2nd_best − avg_APT) / avg_2nd_best × 100
 
-Negative values mean the baseline won — the thesis reports those too
+Negative values mean the baseline won — the paper reports those too
 (Table 13, e.g. −0.298 % at α = 2).
 """
 
@@ -27,7 +27,7 @@ def improvement_vs_second_best(
 ) -> tuple[float, str]:
     """Improvement of ``candidate`` vs the best *other* policy's average.
 
-    Returns ``(improvement_percent, second_best_name)``.  The thesis's
+    Returns ``(improvement_percent, second_best_name)``.  The paper's
     comparison pool is the dynamic policies; pass only those in
     ``values_by_policy``.
     """

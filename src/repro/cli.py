@@ -4,14 +4,23 @@ Subcommands
 -----------
 * ``simulate``  — run one policy on a generated workload, print metrics
   and an ASCII Gantt chart;
-* ``compare``   — all seven thesis policies over an evaluation suite;
+* ``compare``   — all seven paper policies over an evaluation suite;
 * ``sweep``     — APT α × transfer-rate sweep (Figures 7/9/11/12);
-* ``table``     — regenerate a thesis table by number (8–13, 15, 16);
+* ``table``     — regenerate a paper table by number (8–13, 15, 16);
 * ``figure5``   — the published MET-vs-APT schedule example;
-* ``extension`` — the beyond-the-thesis studies (streaming load sweep,
+* ``extension`` — the beyond-the-paper studies (streaming load sweep,
   extended policy pool, energy comparison);
 * ``calibrate`` — measure the real kernels on this machine and write a
   fresh lookup table JSON.
+
+Every sweep-shaped subcommand (``compare``, ``sweep``, ``table``,
+``figure``, ``extension``) accepts the engine flags:
+
+* ``--workers N``   — simulate independent jobs on an N-process pool
+  (``0`` = all cores); results are bit-identical to a serial run;
+* ``--cache-dir D`` — persist per-job results in ``D`` keyed by content
+  hash, so re-runs only simulate what changed;
+* ``--no-cache``    — disable result caching entirely.
 """
 
 from __future__ import annotations
@@ -56,9 +65,30 @@ _FIGURES = {
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="apt-sched",
-        description="APT heterogeneous-scheduling reproduction (Karia, RIT 2017)",
+        description=(
+            "APT heterogeneous-scheduling reproduction (conf_ipps_LopezK17)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # engine flags shared by every sweep-shaped subcommand
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep engine (0 = all cores)",
+    )
+    engine.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent on-disk result cache",
+    )
+    engine.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching (every job simulates)",
+    )
 
     sim = sub.add_parser("simulate", help="run one policy on one generated DFG")
     sim.add_argument("--policy", default="apt", choices=available_policies())
@@ -69,28 +99,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
     sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
 
-    cmp_ = sub.add_parser("compare", help="all thesis policies over a suite")
+    cmp_ = sub.add_parser(
+        "compare", help="all paper policies over a suite", parents=[engine]
+    )
     cmp_.add_argument("--dfg-type", type=int, default=1, choices=(1, 2))
     cmp_.add_argument("--alpha", type=float, default=1.5)
     cmp_.add_argument("--rate", type=float, default=4.0)
     cmp_.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
-    sweep = sub.add_parser("sweep", help="APT alpha × rate sweep")
+    sweep = sub.add_parser("sweep", help="APT alpha × rate sweep", parents=[engine])
     sweep.add_argument("--dfg-type", type=int, default=1, choices=(1, 2))
     sweep.add_argument("--metric", default="makespan", choices=("makespan", "lambda"))
     sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
-    tab = sub.add_parser("table", help="regenerate a thesis table")
+    tab = sub.add_parser("table", help="regenerate a paper table", parents=[engine])
     tab.add_argument("number", choices=sorted(_TABLES, key=int))
     tab.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
-    fig = sub.add_parser("figure", help="regenerate a thesis figure (6-12)")
+    fig = sub.add_parser(
+        "figure", help="regenerate a paper figure (6-12)", parents=[engine]
+    )
     fig.add_argument("number", choices=sorted(_FIGURES, key=int))
     fig.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
     sub.add_parser("figure5", help="the published MET vs APT schedule example")
 
-    ext = sub.add_parser("extension", help="extension studies beyond the thesis")
+    ext = sub.add_parser(
+        "extension", help="extension studies beyond the paper", parents=[engine]
+    )
     ext.add_argument("study", choices=("stream", "policies", "energy"))
     ext.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
@@ -142,8 +178,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` honouring the shared engine flags."""
+    return ExperimentRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner()
+    runner = _runner_from_args(args)
     suite = paper_suite(args.dfg_type, args.seed)
     by_policy = runner.compare_policies(
         suite, PAPER_POLICIES, rate_gbps=args.rate, apt_alpha=args.alpha
@@ -169,17 +214,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         (1, "lambda"): figures.figure11,
         (2, "lambda"): figures.figure12,
     }[(args.dfg_type, args.metric)]
-    print(render_figure(fig_fn(seed=args.seed)))
+    print(render_figure(fig_fn(runner=_runner_from_args(args), seed=args.seed)))
     return 0
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    print(render_table(_TABLES[args.number](seed=args.seed)))
+    table_fn = _TABLES[args.number]
+    print(render_table(table_fn(runner=_runner_from_args(args), seed=args.seed)))
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    print(render_figure(_FIGURES[args.number](seed=args.seed)))
+    fig_fn = _FIGURES[args.number]
+    print(render_figure(fig_fn(runner=_runner_from_args(args), seed=args.seed)))
     return 0
 
 
@@ -201,7 +248,7 @@ def _cmd_extension(args: argparse.Namespace) -> int:
         "policies": extensions.extended_policy_comparison,
         "energy": extensions.energy_comparison,
     }[args.study]
-    print(render_table(fn(seed=args.seed)))
+    print(render_table(fn(runner=_runner_from_args(args), seed=args.seed)))
     return 0
 
 

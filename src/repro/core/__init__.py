@@ -1,6 +1,6 @@
 """Core substrate: heterogeneous-system model, lookup table, discrete-event simulator.
 
-The thesis evaluates scheduling policies on a *simulated* CPU/GPU/FPGA
+The paper evaluates scheduling policies on a *simulated* CPU/GPU/FPGA
 system driven by a table of measured kernel execution times.  This
 subpackage rebuilds that simulator:
 

@@ -1,12 +1,12 @@
 """Energy accounting for simulated schedules.
 
-The thesis motivates heterogeneous systems with "performance **and power
+The paper motivates heterogeneous systems with "performance **and power
 efficiency**" (§1, §2.3: GPUs "use a lot less power when compared to CPUs
 for similar computations") but never quantifies energy.  This module
 closes that gap: given a finished schedule and a per-platform power
 model, it integrates busy/idle power over the run.
 
-The default model uses the published TDP/idle figures of the thesis's
+The default model uses the published TDP/idle figures of the paper's
 Table 6 devices (Intel i7-2600, Nvidia Tesla K20, Xilinx Virtex-7):
 
 ============  ==========  ==========
@@ -62,7 +62,7 @@ class PowerModel:
         return self.busy_watts[ptype]
 
 
-#: Nominal figures for the thesis's Table 6 devices.
+#: Nominal figures for the paper's Table 6 devices.
 DEFAULT_POWER_MODEL = PowerModel(
     busy_watts={
         ProcessorType.CPU: 95.0,

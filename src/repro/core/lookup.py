@@ -1,6 +1,6 @@
 """Kernel execution-time lookup table.
 
-The scheduler in the thesis consults a lookup table of *measured* execution
+The scheduler in the paper consults a lookup table of *measured* execution
 times — "real execution times of a variety of kernels … for multiple data
 sizes on the different processors" (§3.2, Table 3 / Table 14).  Each row
 maps ``(kernel, data size)`` to a time per processor *category*.
@@ -9,7 +9,7 @@ This module generalizes the table into a first-class object:
 
 * exact lookups where the paper has a measurement,
 * log-log linear interpolation between measured sizes of the same kernel /
-  processor series (so the library is usable on workloads the thesis did
+  processor series (so the library is usable on workloads the paper did
   not measure),
 * clamped extrapolation by linear scaling beyond the measured range,
 * helper queries the policies need (`best_processor`, `times_across`).
@@ -135,6 +135,11 @@ class LookupTable:
     # introspection
     # ------------------------------------------------------------------
     @property
+    def interpolate(self) -> bool:
+        """Whether unmeasured data sizes are interpolated (vs raising)."""
+        return self._interpolate
+
+    @property
     def kernels(self) -> tuple[str, ...]:
         return self._kernels
 
@@ -246,7 +251,7 @@ class LookupTable:
     ) -> float:
         """Ratio of worst to best execution time — degree of heterogeneity.
 
-        The thesis argues APT's benefit scales with how *far apart* kernel
+        The paper argues APT's benefit scales with how *far apart* kernel
         times are across platforms; this is the natural scalar for that.
         """
         times = [self.time(kernel, data_size, p) for p in ptypes]
@@ -269,7 +274,7 @@ def scale_heterogeneity(table: LookupTable, beta: float) -> LookupTable:
 
     so ``beta = 1`` is the identity, ``beta = 0`` collapses every row to a
     homogeneous system with the same geometric-mean cost, and
-    ``beta > 1`` exaggerates the heterogeneity.  The thesis argues α must
+    ``beta > 1`` exaggerates the heterogeneity.  The paper argues α must
     be tuned to the *degree of heterogeneity*; this transform is the knob
     that lets experiments vary that degree while holding total work
     roughly constant.

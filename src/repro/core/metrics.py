@@ -1,6 +1,6 @@
 """Simulation metrics.
 
-The thesis's simulator reports, besides the schedule itself (§3.2):
+The paper's simulator reports, besides the schedule itself (§3.2):
 
 1. total execution time (makespan),
 2. compute time per processor,
@@ -18,7 +18,7 @@ This module computes 1–4 and 6–8 from a :class:`~repro.core.schedule.Schedul
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.schedule import Schedule
@@ -48,7 +48,7 @@ class ProcessorUsage:
 
 @dataclass(frozen=True)
 class LambdaStats:
-    """λ-delay summary per thesis eqs. (11)–(12).
+    """λ-delay summary per paper eqs. (11)–(12).
 
     ``count`` (the paper's *N*) is the number of kernels that experienced a
     positive delay; ``total`` sums those delays.
@@ -73,7 +73,7 @@ class LambdaStats:
 class SimulationMetrics:
     """All scalar metrics of one simulation run.
 
-    ``lambda_stats`` uses the thesis's arrival-anchored λ (see
+    ``lambda_stats`` uses the paper's arrival-anchored λ (see
     :attr:`~repro.core.schedule.ScheduleEntry.lambda_delay`);
     ``queue_wait_stats`` summarizes the ready-anchored waiting component
     alone.
@@ -116,7 +116,7 @@ def compute_metrics(
 
     Idle time of a processor is ``makespan − busy time``: processors idle
     from time 0 through the end of the run, exactly as a real device would
-    sit unused (the thesis counts "time for which each processor was
+    sit unused (the paper counts "time for which each processor was
     idle").
     """
     makespan = schedule.makespan

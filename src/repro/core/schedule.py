@@ -2,7 +2,7 @@
 
 A :class:`Schedule` is the primary artifact of a simulation run — "a log of
 the schedule in which the tasks were assigned to different processors"
-(thesis §3.2).  It is validated against the DFG (dependencies respected,
+(paper §3.2).  It is validated against the DFG (dependencies respected,
 no processor overlap) and is the input to all metric computation.
 """
 
@@ -32,7 +32,7 @@ class ScheduleEntry:
 
     ``arrival_time`` (≤ ``ready_time``) is when the kernel entered the
     system — 0 for every kernel of a stream submitted at once, which is
-    the thesis's setting.
+    the paper's setting.
     """
 
     kernel_id: int
@@ -79,7 +79,7 @@ class ScheduleEntry:
     def lambda_delay(self) -> float:
         """λ delay: time from system arrival to start of execution.
 
-        The thesis's λ (§2.5.1) bundles scheduler decision time, dispatch
+        The paper's λ (§2.5.1) bundles scheduler decision time, dispatch
         communication, *and* "dependencies on kernels that are being
         executed in another processor, but have not completed yet" — so it
         is anchored at arrival, not at dependency-readiness.  (Its λ tables

@@ -1,6 +1,6 @@
 """The heterogeneous-system simulator.
 
-This is the engine the thesis describes in §3.2: processors execute
+This is the engine the paper describes in §3.2: processors execute
 kernels whose durations come from the lookup table; data moves over
 PCIe-style links; a scheduling policy decides the kernel→processor
 mapping; and the run produces a schedule log plus the statistical metrics
@@ -119,7 +119,7 @@ class Simulator:
         *actual* execution times.  Policies keep deciding on the clean
         lookup-table estimates — this models the estimation error a real
         deployment faces (the lookup table is a point estimate; runs
-        jitter).  0 (default) reproduces the thesis's noise-free setting.
+        jitter).  0 (default) reproduces the paper's noise-free setting.
     noise_seed:
         Seed of the noise stream (re-seeded per run, so runs stay
         deterministic and comparable across policies).
@@ -163,7 +163,7 @@ class Simulator:
         """Simulate ``dfg`` under ``policy`` and return the full result.
 
         ``arrivals`` optionally maps kernel ids to the time they enter the
-        system (default 0 — the thesis's submitted-at-once stream).  A
+        system (default 0 — the paper's submitted-at-once stream).  A
         kernel becomes ready only once it has arrived *and* its
         predecessors completed; λ is anchored at arrival.  Static policies
         still plan on the full DFG — on streaming workloads they act as a

@@ -1,6 +1,6 @@
 """Heterogeneous system model: processors and interconnect.
 
-The thesis simulates a commercial-off-the-shelf system of CPUs, GPUs and
+The paper simulates a commercial-off-the-shelf system of CPUs, GPUs and
 FPGAs joined by PCI Express links (paper §3.2, Figure 1).  Both the number
 of processors of each type and the link bandwidth are configurable; the
 evaluation uses one CPU, one GPU and one FPGA with a uniform 4 GB/s or
@@ -15,7 +15,7 @@ Units
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator, Mapping
 
@@ -131,6 +131,11 @@ class SystemConfig:
     def default_rate_gbps(self) -> float:
         return self._default_rate
 
+    @property
+    def link_overrides(self) -> dict[tuple[str, str], float]:
+        """Per-pair bandwidth overrides (a copy), keyed by name pairs."""
+        return dict(self._overrides)
+
     def __len__(self) -> int:
         return len(self._processors)
 
@@ -198,7 +203,7 @@ def CPU_GPU_FPGA(
 ) -> SystemConfig:
     """The paper's evaluation platform: CPUs + GPUs + FPGAs, uniform links.
 
-    The thesis uses ``n_cpu = n_gpu = n_fpga = 1`` (§3.2) but exposes the
+    The paper uses ``n_cpu = n_gpu = n_fpga = 1`` (§3.2) but exposes the
     counts as knobs of its simulator; so do we.
     """
     if min(n_cpu, n_gpu, n_fpga) < 0 or n_cpu + n_gpu + n_fpga == 0:

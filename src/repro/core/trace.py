@@ -1,6 +1,6 @@
 """State traces: the Figure 5 view of a simulation.
 
-Figure 5 of the thesis prints the system state ("CPU:0-nw  GPU: idle
+Figure 5 of the paper prints the system state ("CPU:0-nw  GPU: idle
 FPGA:1-bfs   0.0") at every instant an allocation changes or a kernel
 completes.  :class:`StateTrace` reconstructs exactly that view from a
 schedule, which lets tests assert the published MET/APT example verbatim.
@@ -74,7 +74,7 @@ class StateTrace:
         return iter(self.snapshots)
 
     def format(self, system: SystemConfig) -> str:
-        """Multi-line rendering in the thesis's Figure 5 style."""
+        """Multi-line rendering in the paper's Figure 5 style."""
         procs = [p.name for p in system]
         lines = [s.format(procs) for s in self.snapshots]
         return "\n".join(lines)

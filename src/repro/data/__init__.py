@@ -1,4 +1,4 @@
-"""Published data from the thesis: lookup tables, kernel roster, hardware specs."""
+"""Published data from the paper: lookup tables, kernel roster, hardware specs."""
 
 from repro.data.paper_tables import (
     PAPER_KERNELS,

@@ -1,4 +1,4 @@
-"""Measured data published in the thesis, transcribed verbatim.
+"""Measured data published in the paper, transcribed verbatim.
 
 * :data:`_TABLE14` — the complete lookup table (Appendix A, Table 14):
   execution time in **milliseconds** of each kernel, per data size, on the
@@ -12,7 +12,7 @@
   only; the simulator never needs them, but users re-calibrating with
   :mod:`repro.kernels.calibration` will want the provenance).
 
-Note: the thesis's Cholesky/CPU series is non-monotonic in data size
+Note: the paper's Cholesky/CPU series is non-monotonic in data size
 (6.284 ms at 1 M elements between 86.585 ms at ~0.7 M and 86.585 ms at
 4 M).  We transcribe it as printed rather than "fixing" the data.
 """
@@ -25,7 +25,7 @@ from repro.core.lookup import LookupEntry, LookupTable
 from repro.core.system import ProcessorType
 from repro.graphs.dfg import KernelSpec
 
-#: Kernel roster of the thesis (Table 5) with their dwarf classes.
+#: Kernel roster of the paper (Table 5) with their dwarf classes.
 PAPER_KERNELS: dict[str, str] = {
     "nw": "dynamic_programming",  # Needleman-Wunsch
     "bfs": "graph_traversal",  # Breadth First Search
@@ -36,7 +36,7 @@ PAPER_KERNELS: dict[str, str] = {
     "matinv": "dense_linear_algebra",  # Matrix Inverse
 }
 
-#: Kernel counts of the 10 evaluation graphs (thesis Tables 15/16), shared
+#: Kernel counts of the 10 evaluation graphs (paper Tables 15/16), shared
 #: by DFG Type-1 and Type-2 suites.
 PAPER_GRAPH_SIZES: tuple[int, ...] = (46, 58, 50, 73, 69, 81, 125, 93, 132, 157)
 
@@ -88,7 +88,7 @@ FIGURE5_KERNELS: tuple[KernelSpec, ...] = (
 
 @dataclass(frozen=True)
 class HardwarePlatform:
-    """One testbed row of thesis Table 6."""
+    """One testbed row of paper Table 6."""
 
     source: str
     cpu: str

@@ -1,9 +1,11 @@
-"""Experiment harness: regenerate every table and figure of the thesis.
+"""Experiment harness: regenerate every table and figure of the paper.
 
 * :mod:`repro.experiments.workloads` — the seeded 10-graph evaluation
   suites for DFG Type-1 and Type-2;
+* :mod:`repro.experiments.sweep` — the parallel sweep engine: declarative
+  job grids, serial/multiprocessing executors, content-hash result cache;
 * :mod:`repro.experiments.runner` — policy × graph × α × transfer-rate
-  sweeps;
+  sweeps on top of the engine;
 * :mod:`repro.experiments.tables` — Tables 8–13, 15, 16;
 * :mod:`repro.experiments.figures` — Figures 5–12;
 * :mod:`repro.experiments.ablations` — our additional design-choice
@@ -18,6 +20,16 @@ from repro.experiments.workloads import (
     paper_suite,
 )
 from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.sweep import (
+    JobResult,
+    PolicySpec,
+    ResultCache,
+    SimSettings,
+    SweepEngine,
+    SweepJob,
+    SweepSpec,
+    make_job,
+)
 from repro.experiments.report import TableResult, FigureResult, render_table, render_figure
 from repro.experiments import tables, figures, ablations, extensions
 
@@ -28,6 +40,14 @@ __all__ = [
     "paper_suite",
     "ExperimentRunner",
     "RunRecord",
+    "JobResult",
+    "PolicySpec",
+    "ResultCache",
+    "SimSettings",
+    "SweepEngine",
+    "SweepJob",
+    "SweepSpec",
+    "make_job",
     "TableResult",
     "FigureResult",
     "render_table",

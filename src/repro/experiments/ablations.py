@@ -1,8 +1,8 @@
-"""Ablation studies of APT's design choices (ours, beyond the thesis).
+"""Ablation studies of APT's design choices (ours, beyond the paper).
 
-Three knobs DESIGN.md flags as load-bearing:
+Three knobs docs/architecture.md flags as load-bearing:
 
-1. **Transfer term in the threshold test** — the thesis defines p_alt over
+1. **Transfer term in the threshold test** — the paper defines p_alt over
    ``exec + transfer ≤ α·x``; dropping the transfer term (comparing exec
    alone) admits more alternatives on dependency-heavy Type-2 graphs.
 2. **Queue discipline** — APT visits ready kernels first-come-first-serve;
@@ -10,18 +10,24 @@ Three knobs DESIGN.md flags as load-bearing:
 3. **Remaining-time check** — the future-work APT-RT variant
    (:class:`~repro.policies.apt_rt.APT_RT`) only diverts when the
    alternative actually finishes before the busy best processor would.
+
+All studies run through the shared :class:`ExperimentRunner`, so they
+inherit its result cache and worker pool.  The longest-first variant is
+registered under ``"apt_longest_first"`` with this module as its
+:class:`~repro.experiments.sweep.PolicySpec` provider, which is what lets
+sweep worker processes reconstruct it.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import TableResult
 from repro.experiments.runner import PAPER_ALPHAS, ExperimentRunner
+from repro.experiments.sweep import PolicySpec
 from repro.experiments.workloads import DEFAULT_SEED, paper_suite
 from repro.graphs.dfg import DFG
 from repro.policies.apt import APT
-from repro.policies.apt_rt import APT_RT
 from repro.policies.base import Assignment, SchedulingContext
-from repro.core.simulator import Simulator
+from repro.policies.registry import available_policies, register_policy
 
 
 class APTLongestFirst(APT):
@@ -54,12 +60,21 @@ class APTLongestFirst(APT):
         return super().select(ctx)
 
 
+if "apt_longest_first" not in available_policies():  # idempotent on re-import
+    register_policy("apt_longest_first", APTLongestFirst)
+
+#: Provider module for specs whose policies live here, not in the registry
+#: by default — worker processes import it before construction.
+_PROVIDER = __name__
+
+
 def _mean_makespan(
-    suite: list[DFG], policy_factory, runner: ExperimentRunner, rate_gbps: float
+    suite: list[DFG], spec: PolicySpec, runner: ExperimentRunner, rate_gbps: float
 ) -> float:
-    sim = Simulator(runner.system_for(rate_gbps), runner.lookup)
-    values = [sim.run(dfg, policy_factory()).makespan for dfg in suite]
-    return sum(values) / len(values)
+    records = runner.run_specs(
+        [(i, dfg, spec, rate_gbps) for i, dfg in enumerate(suite)]
+    )
+    return runner.mean([r.makespan for r in records])
 
 
 def ablate_transfer_term(
@@ -74,11 +89,20 @@ def ablate_transfer_term(
     for dfg_type in (1, 2):
         suite = paper_suite(dfg_type, seed)
         for alpha in alphas:
+            # note: no explicit include_transfer=True — defaulted params
+            # would change the content hash and miss the cache entries the
+            # paper tables already produced for the identical simulation.
             with_t = _mean_makespan(
-                suite, lambda: APT(alpha=alpha, include_transfer=True), runner, rate_gbps
+                suite,
+                PolicySpec.of("apt", alpha=alpha),
+                runner,
+                rate_gbps,
             )
             without_t = _mean_makespan(
-                suite, lambda: APT(alpha=alpha, include_transfer=False), runner, rate_gbps
+                suite,
+                PolicySpec.of("apt", alpha=alpha, include_transfer=False),
+                runner,
+                rate_gbps,
             )
             rows.append((f"Type-{dfg_type}", alpha, with_t, without_t,
                          (without_t - with_t) / with_t * 100.0))
@@ -97,14 +121,19 @@ def ablate_queue_discipline(
     alpha: float = 4.0,
     rate_gbps: float = 4.0,
 ) -> TableResult:
-    """FCFS (the thesis) vs longest-best-case-first ready-queue order."""
+    """FCFS (the paper) vs longest-best-case-first ready-queue order."""
     runner = runner if runner is not None else ExperimentRunner()
     rows = []
     for dfg_type in (1, 2):
         suite = paper_suite(dfg_type, seed)
-        fcfs = _mean_makespan(suite, lambda: APT(alpha=alpha), runner, rate_gbps)
+        fcfs = _mean_makespan(
+            suite, PolicySpec.of("apt", alpha=alpha), runner, rate_gbps
+        )
         longest = _mean_makespan(
-            suite, lambda: APTLongestFirst(alpha=alpha), runner, rate_gbps
+            suite,
+            PolicySpec.of("apt_longest_first", alpha=alpha, provider=_PROVIDER),
+            runner,
+            rate_gbps,
         )
         rows.append((f"Type-{dfg_type}", alpha, fcfs, longest,
                      (longest - fcfs) / fcfs * 100.0))
@@ -123,14 +152,18 @@ def ablate_remaining_time(
     alphas: tuple[float, ...] = PAPER_ALPHAS,
     rate_gbps: float = 4.0,
 ) -> TableResult:
-    """APT vs APT-RT (the thesis's future-work extension) across α."""
+    """APT vs APT-RT (the paper's future-work extension) across α."""
     runner = runner if runner is not None else ExperimentRunner()
     rows = []
     for dfg_type in (1, 2):
         suite = paper_suite(dfg_type, seed)
         for alpha in alphas:
-            apt = _mean_makespan(suite, lambda: APT(alpha=alpha), runner, rate_gbps)
-            apt_rt = _mean_makespan(suite, lambda: APT_RT(alpha=alpha), runner, rate_gbps)
+            apt = _mean_makespan(
+                suite, PolicySpec.of("apt", alpha=alpha), runner, rate_gbps
+            )
+            apt_rt = _mean_makespan(
+                suite, PolicySpec.of("apt_rt", alpha=alpha), runner, rate_gbps
+            )
             rows.append((f"Type-{dfg_type}", alpha, apt, apt_rt,
                          (apt - apt_rt) / apt * 100.0))
     return TableResult(

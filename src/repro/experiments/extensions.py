@@ -1,6 +1,6 @@
-"""Extension experiments beyond the thesis's evaluation.
+"""Extension experiments beyond the paper's evaluation.
 
-Three studies the thesis motivates but does not run:
+Three studies the paper motivates but does not run:
 
 1. **Streaming (online) workloads** — §3.2 frames the input as a stream
    of applications with "no specific number of instances or order"; here
@@ -8,32 +8,43 @@ Three studies the thesis motivates but does not run:
    offered load.  Static policies are excluded: they would plan on
    arrivals they cannot know.
 2. **Extended policy pool** — the other classic heuristics from the
-   papers the thesis cites: Min-Min, Max-Min, Sufferage (Braun et al.)
-   and CPOP (Topcuoglu et al.), compared on the thesis's own suites.
+   papers the paper cites: Min-Min, Max-Min, Sufferage (Braun et al.)
+   and CPOP (Topcuoglu et al.), compared on the paper's own suites.
 3. **Energy** — §1 motivates heterogeneous systems with power
    efficiency; this study integrates the Table 6 devices' power envelopes
    over each policy's schedules.
+
+Every study submits its whole simulation grid to the shared
+:class:`~repro.experiments.sweep.SweepEngine` in one batch (via the
+runner), so they parallelize across workers and memoize in the result
+cache like the paper tables do.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
+from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel
 from repro.core.lookup import scale_heterogeneity
-from repro.core.simulator import Simulator
-from repro.experiments.report import FigureResult, TableResult
+from repro.experiments.report import TableResult
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import PolicySpec, make_job
 from repro.experiments.workloads import DEFAULT_SEED, paper_suite
 from repro.graphs.generators import PAPER_KERNEL_POPULATION, KernelPopulation
 from repro.graphs.streams import poisson_stream
 from repro.graphs.dfg import DFG
-from repro.policies.registry import get_policy
 
 #: Dynamic policies eligible for online (streaming) scheduling.
 STREAMING_POLICIES = ("apt", "met", "spn", "ss", "ag", "minmin", "maxmin", "sufferage")
 #: The full comparison pool for the extended-policy study.
 EXTENDED_POLICIES = ("apt", "met", "minmin", "maxmin", "sufferage", "cpop", "heft", "peft")
+
+
+def _spec(name: str, apt_alpha: float) -> PolicySpec:
+    """APT variants carry their α; every other policy takes no params."""
+    if name in ("apt", "apt_rt"):
+        return PolicySpec.of(name, alpha=apt_alpha)
+    return PolicySpec.of(name)
 
 
 def _mini_app_factory(
@@ -66,11 +77,9 @@ def streaming_load_sweep(
     Each column is one Poisson stream intensity (smaller inter-arrival =
     heavier load); rows are policies.  At light load every sane policy
     tracks the arrival process; under saturation the placement quality
-    separates them — the regime the thesis's threshold targets.
+    separates them — the regime the paper's threshold targets.
     """
     runner = runner if runner is not None else ExperimentRunner()
-    sim = Simulator(runner.system_for(rate_gbps), runner.lookup)
-    rows = []
     streams = {}
     for mean_ia in mean_interarrivals_ms:
         streams[mean_ia] = poisson_stream(
@@ -79,17 +88,25 @@ def streaming_load_sweep(
             _mini_app_factory(),
             np.random.default_rng(seed),
         ).merged(name=f"stream_ia{mean_ia:g}")
+    jobs = []
     for name in STREAMING_POLICIES:
-        row: list[object] = [name.upper()]
         for mean_ia in mean_interarrivals_ms:
             merged, arrivals = streams[mean_ia]
-            policy = (
-                get_policy(name, alpha=apt_alpha)
-                if name in ("apt", "apt_rt")
-                else get_policy(name)
+            jobs.append(
+                runner.job_for(
+                    merged,
+                    _spec(name, apt_alpha),
+                    rate_gbps,
+                    arrivals=arrivals,
+                    tag={"policy": name, "mean_ia": mean_ia},
+                )
             )
-            row.append(sim.run(merged, policy, arrivals=arrivals).makespan)
-        rows.append(tuple(row))
+    results = runner.engine.run_jobs(jobs)
+    n_loads = len(mean_interarrivals_ms)
+    rows = []
+    for pos, name in enumerate(STREAMING_POLICIES):
+        chunk = results[pos * n_loads : (pos + 1) * n_loads]
+        rows.append((name.upper(), *(res.makespan for res in chunk)))
     return TableResult(
         title="Extension — streaming (online) load sweep, dynamic policies",
         headers=("Policy",)
@@ -108,7 +125,7 @@ def extended_policy_comparison(
     rate_gbps: float = 4.0,
     apt_alpha: float = 4.0,
 ) -> TableResult:
-    """Mean makespan of the extended policy pool on both thesis suites."""
+    """Mean makespan of the extended policy pool on both paper suites."""
     runner = runner if runner is not None else ExperimentRunner()
     rows = []
     for name in EXTENDED_POLICIES:
@@ -136,7 +153,7 @@ def heterogeneity_sweep(
 ) -> TableResult:
     """How APT's gain and best α move with the degree of heterogeneity.
 
-    The thesis's tuning claim in one table: cross-platform spreads are
+    The paper's tuning claim in one table: cross-platform spreads are
     rescaled by :func:`~repro.core.lookup.scale_heterogeneity` (β = 0:
     homogeneous, β = 1: the measured Table 14, β > 1: exaggerated) and for
     each β we report APT's best α and its improvement over MET.
@@ -195,6 +212,7 @@ def estimation_error_robustness(
     apt_alpha: float = 4.0,
     n_graphs: int = 5,
     n_noise_seeds: int = 3,
+    runner: ExperimentRunner | None = None,
 ) -> TableResult:
     """APT-vs-MET improvement when actual runtimes deviate from the table.
 
@@ -203,24 +221,30 @@ def estimation_error_robustness(
     of parameter σ.  Both policies face identical perturbed kernels, so
     the comparison isolates decision quality under estimation error.
     """
-    from repro.data.paper_tables import paper_lookup_table
-
-    lookup = paper_lookup_table()
+    runner = runner if runner is not None else ExperimentRunner()
     suite = paper_suite(2, seed)[:n_graphs]
-    system_rate = rate_gbps
+    grid = [
+        (sigma, noise_seed)
+        for sigma in sigmas
+        for noise_seed in range(n_noise_seeds)
+    ]
+    jobs = []
+    for sigma, noise_seed in grid:
+        settings = runner.settings(exec_noise_sigma=sigma, noise_seed=noise_seed)
+        for dfg in suite:
+            for spec in (PolicySpec.of("apt", alpha=apt_alpha), PolicySpec.of("met")):
+                jobs.append(runner.job_for(dfg, spec, rate_gbps, settings=settings))
+    results = runner.engine.run_jobs(jobs)
+    per_cell = 2 * len(suite)
     rows = []
     for sigma in sigmas:
         apt_total, met_total = 0.0, 0.0
-        for noise_seed in range(n_noise_seeds):
-            sim = Simulator(
-                ExperimentRunner().system_for(system_rate),
-                lookup,
-                exec_noise_sigma=sigma,
-                noise_seed=noise_seed,
-            )
-            for dfg in suite:
-                apt_total += sim.run(dfg, get_policy("apt", alpha=apt_alpha)).makespan
-                met_total += sim.run(dfg, get_policy("met")).makespan
+        for pos, (s, _) in enumerate(grid):
+            if s != sigma:
+                continue
+            chunk = results[pos * per_cell : (pos + 1) * per_cell]
+            apt_total += sum(r.makespan for r in chunk[0::2])
+            met_total += sum(r.makespan for r in chunk[1::2])
         rows.append(
             (
                 sigma,
@@ -252,23 +276,32 @@ def energy_comparison(
     """Total energy and energy-delay product per policy over a suite."""
     runner = runner if runner is not None else ExperimentRunner()
     suite = paper_suite(dfg_type, seed)
-    sim = Simulator(runner.system_for(rate_gbps), runner.lookup)
+    jobs = [
+        make_job(
+            dfg,
+            _spec(name, apt_alpha),
+            runner.system_for(rate_gbps),
+            runner.lookup,
+            settings=runner.settings(),
+            power_model=power_model,
+            tag={"policy": name},
+        )
+        for name in policies
+        for dfg in suite
+    ]
+    results = runner.engine.run_jobs(jobs)
+    n = len(suite)
     rows = []
-    for name in policies:
-        total_j, total_edp, total_mk = 0.0, 0.0, 0.0
-        for dfg in suite:
-            policy = (
-                get_policy(name, alpha=apt_alpha)
-                if name in ("apt", "apt_rt")
-                else get_policy(name)
+    for pos, name in enumerate(policies):
+        chunk = results[pos * n : (pos + 1) * n]
+        rows.append(
+            (
+                name.upper(),
+                sum(r.makespan for r in chunk) / n,
+                sum(r.energy_joules for r in chunk) / n,
+                sum(r.energy_delay_product for r in chunk) / n,
             )
-            result = sim.run(dfg, policy)
-            report = energy_of(result.schedule, sim.system, power_model)
-            total_j += report.total_joules
-            total_edp += report.energy_delay_product
-            total_mk += result.makespan
-        n = len(suite)
-        rows.append((name.upper(), total_mk / n, total_j / n, total_edp / n))
+        )
     return TableResult(
         title=f"Extension — energy comparison, DFG Type-{dfg_type}",
         headers=("Policy", "mean makespan (ms)", "mean energy (J)", "mean EDP (J·s)"),

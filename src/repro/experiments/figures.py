@@ -1,4 +1,4 @@
-"""Reproducers for the thesis's evaluation figures (Figures 5–12).
+"""Reproducers for the paper's evaluation figures (Figures 5–12).
 
 Each returns a :class:`~repro.experiments.report.FigureResult` (numeric
 series; rendering is the caller's business) except
@@ -49,7 +49,7 @@ class ScheduleExample:
 def figure5_schedule_example(alpha: float = 8.0) -> ScheduleExample:
     """Reproduce the Figure 5 example exactly.
 
-    The thesis publishes the full inputs (Table 7 kernels, no transfers,
+    The paper publishes the full inputs (Table 7 kernels, no transfers,
     α = 8), so this is the one experiment where absolute numbers must
     match: MET ends at 318.093 ms, APT at 212.093 ms.
     """

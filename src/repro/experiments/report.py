@@ -3,18 +3,18 @@
 Everything the harness produces is a :class:`TableResult` (rows of cells)
 or a :class:`FigureResult` (named numeric series).  Rendering is pure
 text — this library targets headless benchmark runs, not notebooks — and
-benchmark modules print these next to the thesis's reference values.
+benchmark modules print these next to the paper's reference values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 
 @dataclass(frozen=True)
 class TableResult:
-    """A reproduced thesis table."""
+    """A reproduced paper table."""
 
     title: str
     headers: tuple[str, ...]
@@ -28,7 +28,7 @@ class TableResult:
 
 @dataclass(frozen=True)
 class FigureResult:
-    """A reproduced thesis figure: labelled numeric series over x points."""
+    """A reproduced paper figure: labelled numeric series over x points."""
 
     title: str
     x_label: str

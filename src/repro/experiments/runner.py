@@ -2,24 +2,42 @@
 
 One :class:`ExperimentRunner` owns a lookup table and simulation settings
 and produces flat :class:`RunRecord` rows that the table/figure
-reproducers aggregate.  Results are memoized per (graph, policy-config,
-rate) within a runner, since the thesis's tables reuse the same runs many
-times (e.g. MET appears in Tables 8–13).
+reproducers aggregate.  Since the paper's tables reuse the same runs many
+times (e.g. MET appears in Tables 8–13), results are memoized at two
+levels:
+
+* an in-memory record memo per runner (same object returned twice), and
+* the :class:`~repro.experiments.sweep.SweepEngine` beneath it, which
+  adds an optional on-disk JSON cache keyed by a content hash of
+  (DFG, system, lookup table, policy config, simulation settings) and a
+  ``multiprocessing`` worker pool for parallel sweeps.
+
+Suite-level calls (:meth:`ExperimentRunner.run_suite`,
+:meth:`compare_policies`, :meth:`alpha_sweep`) submit their whole grid to
+the engine in one batch, so a multi-worker runner parallelizes them
+across processes while staying bit-identical to a serial run (the
+simulator's determinism guarantee; asserted in ``tests/test_sweep.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.lookup import LookupTable
-from repro.core.simulator import SimulationResult, Simulator
 from repro.core.system import CPU_GPU_FPGA, SystemConfig
 from repro.data.paper_tables import paper_lookup_table
+from repro.experiments.sweep import (
+    JobResult,
+    PolicySpec,
+    SimSettings,
+    SweepEngine,
+    SweepJob,
+    make_job,
+)
 from repro.graphs.dfg import DFG
-from repro.policies.apt import APT
-from repro.policies.base import Policy, StaticPolicy
-from repro.policies.registry import get_policy
+from repro.policies.base import StaticPolicy
 
 #: Transfer rates of the evaluation: PCIe 2.0 ×8 and ×16 (§3.2).
 PAPER_RATES_GBPS = (4.0, 8.0)
@@ -43,6 +61,8 @@ class RunRecord:
     lambda_stddev: float
     n_alternative: int
     alternative_by_kernel: Mapping[str, int]
+    energy_joules: float = 0.0
+    energy_delay_product: float = 0.0
 
 
 class ExperimentRunner:
@@ -51,17 +71,27 @@ class ExperimentRunner:
     Parameters
     ----------
     lookup:
-        Execution-time table (default: the thesis's Table 14).
+        Execution-time table (default: the paper's Table 14).
     element_size:
         Bytes per element for transfers (default 4).
     static_planning_overhead_per_kernel_ms:
         Optional cost charged to *static* policies' makespan and λ for
-        their pre-computation phase.  The thesis argues HEFT/PEFT's
+        their pre-computation phase.  The paper argues HEFT/PEFT's
         ranking step is "very time consuming and thus cumulatively very
         expensive" and its measured HEFT/PEFT land slightly *above*
         MET/APT; our idealized simulator charges nothing by default, which
-        flips that ordering (see EXPERIMENTS.md).  Set this to model the
-        thesis's accounting.
+        flips that ordering (see docs/architecture.md).  Set this to model the
+        paper's accounting.
+    workers:
+        Worker-pool size for suite-level sweeps.  ``1`` (default) runs
+        serially in-process; ``None``/``0`` uses every core.
+    cache_dir:
+        Optional directory for the persistent on-disk result cache; runs
+        found there are not re-simulated (even across processes and
+        sessions).
+    use_cache:
+        ``False`` disables both the engine's memo layers (the runner's
+        own record memo stays, preserving object-identity semantics).
     """
 
     def __init__(
@@ -69,23 +99,119 @@ class ExperimentRunner:
         lookup: LookupTable | None = None,
         element_size: int = 4,
         static_planning_overhead_per_kernel_ms: float = 0.0,
+        workers: int | None = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
     ) -> None:
         self.lookup = lookup if lookup is not None else paper_lookup_table()
         self.element_size = element_size
         self.static_overhead = float(static_planning_overhead_per_kernel_ms)
+        self.engine = SweepEngine(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
         self._cache: dict[tuple, RunRecord] = {}
+        self._is_static: dict[PolicySpec, bool] = {}
 
     # ------------------------------------------------------------------
     def system_for(self, rate_gbps: float) -> SystemConfig:
         return CPU_GPU_FPGA(transfer_rate_gbps=rate_gbps)
 
-    def _policy_key(self, name: str, alpha: float | None) -> tuple:
-        return (name, alpha)
+    def settings(self, **overrides: object) -> SimSettings:
+        """This runner's simulation settings, with optional overrides."""
+        base = SimSettings(element_size=self.element_size)
+        return SimSettings(**{**base.to_dict(), **overrides})  # type: ignore[arg-type]
 
-    def _make_policy(self, name: str, alpha: float | None) -> Policy:
+    def spec_for(self, policy_name: str, alpha: float | None = None) -> PolicySpec:
+        """A :class:`PolicySpec` matching the legacy (name, α) convention."""
         if alpha is not None:
-            return get_policy(name, alpha=alpha)
-        return get_policy(name)
+            return PolicySpec.of(policy_name, alpha=alpha)
+        return PolicySpec.of(policy_name)
+
+    def job_for(
+        self,
+        dfg: DFG,
+        spec: PolicySpec,
+        rate_gbps: float,
+        settings: SimSettings | None = None,
+        arrivals: Mapping[int, float] | None = None,
+        tag: Mapping[str, object] | None = None,
+    ) -> SweepJob:
+        """A fully serialized engine job with this runner's defaults."""
+        return make_job(
+            dfg,
+            spec,
+            self.system_for(rate_gbps),
+            self.lookup,
+            settings=settings if settings is not None else self.settings(),
+            arrivals=arrivals,
+            tag=tag,
+        )
+
+    # ------------------------------------------------------------------
+    def _charges_overhead(self, spec: PolicySpec) -> bool:
+        if self.static_overhead == 0.0:
+            return False
+        if spec not in self._is_static:
+            self._is_static[spec] = isinstance(spec.build(), StaticPolicy)
+        return self._is_static[spec]
+
+    def _to_record(
+        self, graph_index: int, spec: PolicySpec, rate_gbps: float, result: JobResult
+    ) -> RunRecord:
+        overhead = (
+            self.static_overhead * result.n_kernels
+            if self._charges_overhead(spec)
+            else 0.0
+        )
+        return RunRecord(
+            graph_index=graph_index,
+            graph_name=result.dfg_name,
+            n_kernels=result.n_kernels,
+            policy=spec.name,
+            alpha=spec.alpha,
+            rate_gbps=rate_gbps,
+            makespan=result.makespan + overhead,
+            total_lambda=result.total_lambda + overhead,
+            avg_lambda=result.avg_lambda,
+            lambda_stddev=result.lambda_stddev,
+            n_alternative=result.n_alternative,
+            alternative_by_kernel=dict(result.alternative_by_kernel),
+            energy_joules=result.energy_joules,
+            energy_delay_product=result.energy_delay_product,
+        )
+
+    def run_specs(
+        self, items: Sequence[tuple[int, DFG, PolicySpec, float]]
+    ) -> list[RunRecord]:
+        """Run a batch of (graph_index, dfg, policy spec, rate) items.
+
+        The whole batch is submitted to the sweep engine at once, so a
+        multi-worker runner simulates the non-memoized items in parallel.
+        Results come back in request order; repeated items return the
+        identical memoized :class:`RunRecord` object.
+
+        The record memo is keyed by the job's *content hash* (plus the
+        requested graph index), never by graph name — two suites that
+        reuse names across seeds can share a runner safely.
+        """
+        jobs = [
+            self.job_for(dfg, spec, rate, tag={"graph_index": index})
+            for index, dfg, spec, rate in items
+        ]
+        keys = [
+            (index, job.content_hash())
+            for (index, _, _, _), job in zip(items, jobs)
+        ]
+        # within-batch dedupe: the engine also dedupes by content hash,
+        # but skipping duplicate conversions is cheaper.
+        unique: dict[tuple, tuple[SweepJob, PolicySpec, float]] = {}
+        for key, job, (_, _, spec, rate) in zip(keys, jobs, items):
+            if key not in self._cache:
+                unique.setdefault(key, (job, spec, rate))
+        if unique:
+            ordered = list(unique.items())
+            results = self.engine.run_jobs([job for _, (job, _, _) in ordered])
+            for (key, (_, spec, rate)), result in zip(ordered, results):
+                self._cache[key] = self._to_record(key[0], spec, rate, result)
+        return [self._cache[key] for key in keys]
 
     def run_one(
         self,
@@ -96,41 +222,8 @@ class ExperimentRunner:
         alpha: float | None = None,
     ) -> RunRecord:
         """Simulate one graph under one policy configuration (memoized)."""
-        key = (graph_index, dfg.name, self._policy_key(policy_name, alpha), rate_gbps)
-        if key in self._cache:
-            return self._cache[key]
-        policy = self._make_policy(policy_name, alpha)
-        sim = Simulator(
-            self.system_for(rate_gbps), self.lookup, element_size=self.element_size
-        )
-        result = sim.run(dfg, policy)
-        overhead = (
-            self.static_overhead * len(dfg)
-            if isinstance(policy, StaticPolicy)
-            else 0.0
-        )
-        alt_by_kernel = {
-            e.kernel: 0 for e in result.schedule if e.used_alternative
-        }
-        for e in result.schedule:
-            if e.used_alternative:
-                alt_by_kernel[e.kernel] += 1
-        record = RunRecord(
-            graph_index=graph_index,
-            graph_name=dfg.name,
-            n_kernels=len(dfg),
-            policy=policy_name,
-            alpha=alpha,
-            rate_gbps=rate_gbps,
-            makespan=result.makespan + overhead,
-            total_lambda=result.metrics.lambda_stats.total + overhead,
-            avg_lambda=result.metrics.lambda_stats.average,
-            lambda_stddev=result.metrics.lambda_stats.stddev,
-            n_alternative=result.metrics.n_alternative_assignments,
-            alternative_by_kernel=alt_by_kernel,
-        )
-        self._cache[key] = record
-        return record
+        spec = self.spec_for(policy_name, alpha)
+        return self.run_specs([(graph_index, dfg, spec, rate_gbps)])[0]
 
     # ------------------------------------------------------------------
     def run_suite(
@@ -140,11 +233,11 @@ class ExperimentRunner:
         rate_gbps: float = 4.0,
         alpha: float | None = None,
     ) -> list[RunRecord]:
-        """One policy across a whole graph suite."""
-        return [
-            self.run_one(i, dfg, policy_name, rate_gbps, alpha)
-            for i, dfg in enumerate(suite)
-        ]
+        """One policy across a whole graph suite (one engine batch)."""
+        spec = self.spec_for(policy_name, alpha)
+        return self.run_specs(
+            [(i, dfg, spec, rate_gbps) for i, dfg in enumerate(suite)]
+        )
 
     def compare_policies(
         self,
@@ -153,11 +246,21 @@ class ExperimentRunner:
         rate_gbps: float = 4.0,
         apt_alpha: float = 1.5,
     ) -> dict[str, list[RunRecord]]:
-        """All requested policies across a suite; APT variants get ``apt_alpha``."""
-        out: dict[str, list[RunRecord]] = {}
-        for name in policy_names:
+        """All requested policies across a suite; APT variants get ``apt_alpha``.
+
+        The full policy × graph grid is one engine batch, so every
+        simulation can run in parallel.
+        """
+        names = list(policy_names)
+        items: list[tuple[int, DFG, PolicySpec, float]] = []
+        for name in names:
             alpha = apt_alpha if name in ("apt", "apt_rt") else None
-            out[name] = self.run_suite(suite, name, rate_gbps, alpha)
+            spec = self.spec_for(name, alpha)
+            items += [(i, dfg, spec, rate_gbps) for i, dfg in enumerate(suite)]
+        records = self.run_specs(items)
+        out: dict[str, list[RunRecord]] = {}
+        for pos, name in enumerate(names):
+            out[name] = records[pos * len(suite) : (pos + 1) * len(suite)]
         return out
 
     def alpha_sweep(
@@ -167,11 +270,19 @@ class ExperimentRunner:
         rates: Sequence[float] = PAPER_RATES_GBPS,
         policy_name: str = "apt",
     ) -> dict[tuple[float, float], list[RunRecord]]:
-        """APT (or a variant) across α × transfer-rate combinations."""
+        """APT (or a variant) across α × transfer-rate combinations.
+
+        The α × rate × graph grid is one engine batch.
+        """
+        grid = [(alpha, rate) for alpha in alphas for rate in rates]
+        items: list[tuple[int, DFG, PolicySpec, float]] = []
+        for alpha, rate in grid:
+            spec = self.spec_for(policy_name, alpha)
+            items += [(i, dfg, spec, rate) for i, dfg in enumerate(suite)]
+        records = self.run_specs(items)
         return {
-            (alpha, rate): self.run_suite(suite, policy_name, rate, alpha)
-            for alpha in alphas
-            for rate in rates
+            pair: records[pos * len(suite) : (pos + 1) * len(suite)]
+            for pos, pair in enumerate(grid)
         }
 
     # ------------------------------------------------------------------

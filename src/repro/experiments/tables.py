@@ -1,9 +1,9 @@
-"""Reproducers for the thesis's evaluation tables (Tables 8–13, 15, 16).
+"""Reproducers for the paper's evaluation tables (Tables 8–13, 15, 16).
 
 Every function returns a :class:`~repro.experiments.report.TableResult`
-with the same rows/columns as the thesis.  Absolute milliseconds differ
+with the same rows/columns as the paper.  Absolute milliseconds differ
 from the published numbers because the ten random graphs are regenerated
-(see DESIGN.md); the benchmark harness asserts the *shape* instead.
+(see docs/architecture.md); the benchmark harness asserts the *shape* instead.
 
 All functions accept a shared :class:`ExperimentRunner` so repeated runs
 are memoized across tables.
@@ -18,9 +18,9 @@ from repro.experiments.report import TableResult
 from repro.experiments.runner import PAPER_ALPHAS, ExperimentRunner, RunRecord
 from repro.experiments.workloads import DEFAULT_SEED, paper_suite
 
-#: Column order of the thesis's makespan/λ tables.
+#: Column order of the paper's makespan/λ tables.
 TABLE_POLICIES = ("apt", "met", "spn", "ss", "ag", "heft", "peft")
-#: The thesis's improvement baseline pool: dynamic policies only (§4.4).
+#: The paper's improvement baseline pool: dynamic policies only (§4.4).
 DYNAMIC_POOL = ("met", "spn", "ss", "ag")
 
 
@@ -159,8 +159,8 @@ def table13(
     (eqs. (13)–(14)); negative means the baseline won at that α.
 
     The second-best dynamic policy is determined by mean makespan over
-    the suite (it is MET on both suites, as in the thesis), and that same
-    policy anchors both the exec and λ columns — matching the thesis's
+    the suite (it is MET on both suites, as in the paper), and that same
+    policy anchors both the exec and λ columns — matching the paper's
     presentation where MET is the runner-up throughout Tables 8–12.
     """
     runner = _setup(runner, seed)

@@ -1,11 +1,11 @@
 """The evaluation workload suites.
 
-The thesis evaluates on 10 graphs per DFG type whose kernel counts are
+The paper evaluates on 10 graphs per DFG type whose kernel counts are
 published in Tables 15/16 (46, 58, 50, 73, 69, 81, 125, 93, 132, 157) but
 whose exact contents are not.  We regenerate them with seeded RNGs from
 the paper's kernel/data-size population, so every experiment in this repo
 is exactly reproducible even though absolute milliseconds differ from the
-thesis (see DESIGN.md §2, "Substitutions").
+paper (see docs/architecture.md, "Reproduction notes").
 """
 
 from __future__ import annotations
@@ -21,7 +21,7 @@ from repro.graphs.generators import (
     make_type2_dfg,
 )
 
-#: Year of the thesis — the suite's default base seed.
+#: Year of the paper — the suite's default base seed.
 DEFAULT_SEED = 2017
 
 
@@ -50,7 +50,7 @@ def paper_type2_suite(
     """The ten DFG Type-2 evaluation graphs (seeded).
 
     Uses the same kernel streams as the Type-1 suite (same seeds), echoing
-    the thesis's method of fitting one series of kernels into either graph
+    the paper's method of fitting one series of kernels into either graph
     model.
     """
     return [

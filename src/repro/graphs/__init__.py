@@ -1,7 +1,7 @@
 """Workload model: kernel dataflow graphs (DFGs) and generators.
 
 The scheduler's input is "a stream of applications … represented as a DFG
-of kernels" (thesis §3.2).  This subpackage provides:
+of kernels" (paper §3.2).  This subpackage provides:
 
 * :mod:`repro.graphs.dfg` — the DFG container (networkx-backed);
 * :mod:`repro.graphs.generators` — the paper's DFG Type-1 / Type-2 shapes

@@ -7,8 +7,6 @@ bounds used to sanity-check simulation results in tests and benchmarks.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.core.lookup import LookupTable
 from repro.core.system import SystemConfig
 from repro.graphs.dfg import DFG

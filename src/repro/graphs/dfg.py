@@ -1,6 +1,6 @@
 """The kernel dataflow graph (DFG).
 
-The thesis models an application stream as ``G = (V, E)`` where ``V`` is a
+The paper models an application stream as ``G = (V, E)`` where ``V`` is a
 set of kernels — each with a kernel type (e.g. ``"bfs"``) and a data size —
 and ``E`` captures data/computational dependencies (§2.5.1).  Kernel ids
 double as arrival order: dynamic schedulers fill their ready queue
@@ -10,8 +10,8 @@ ascending kernel id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import networkx as nx
 

@@ -1,6 +1,6 @@
 """Workload generators.
 
-The thesis's input-stream generator "accepts for an input a series of
+The paper's input-stream generator "accepts for an input a series of
 kernels [with] different number of kernels and different data sizes for
 each kernel … then fit into the model/type of DFG" (§3.2).  Two shapes
 are used:
@@ -41,7 +41,7 @@ class KernelPopulation:
 
     ``choices`` is a flat tuple of ``(kernel, data_size)`` pairs.
     Sampling picks a kernel *type* uniformly, then one of its measured
-    sizes uniformly.  The thesis's appendix B implies this weighting: in
+    sizes uniformly.  The paper's appendix B implies this weighting: in
     its α = 4 allocation tables, SRAD and NW — single-size kernels — each
     account for ~10-15 % of a graph's kernels, which pair-uniform
     sampling over Table 14 (where the linear-algebra kernels have 7 sizes
@@ -84,7 +84,7 @@ class KernelPopulation:
         )
 
 
-#: The thesis's kernel/data-size population (every Table 14 row).
+#: The paper's kernel/data-size population (every Table 14 row).
 PAPER_KERNEL_POPULATION = KernelPopulation.uniform_kernels(
     {
         "matmul": (250_000, 698_896, 1_000_000, 4_000_000, 16_000_000, 36_000_000, 64_000_000),

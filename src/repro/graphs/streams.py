@@ -1,6 +1,6 @@
 """Streaming application workloads.
 
-The thesis frames its input as "a stream of applications … [that] can
+The paper frames its input as "a stream of applications … [that] can
 have as many applications, and there is no specific number of instances
 or order in which the applications occur" (§3.2) but evaluates the
 submitted-at-once case.  This module generalizes to *online* streams:
@@ -9,7 +9,7 @@ kernels carry arrival times.
 
 Static policies plan on the full merged DFG, so on streams they act as a
 clairvoyant upper baseline; the dynamic policies (APT included) only ever
-see kernels that have actually arrived — the regime the thesis argues
+see kernels that have actually arrived — the regime the paper argues
 dynamic scheduling is for.
 """
 

@@ -1,4 +1,4 @@
-"""Real implementations of the thesis's seven workload kernels.
+"""Real implementations of the paper's seven workload kernels.
 
 The lookup table drives the *simulator*, but the kernels themselves are
 first-class citizens here: every kernel of Table 5 is implemented in

@@ -1,10 +1,10 @@
 """Kernel abstraction: runnable, verifiable units of computation.
 
-Each kernel of thesis Table 5 is implemented against this interface so it
+Each kernel of paper Table 5 is implemented against this interface so it
 can be (a) executed as a real computation in the example applications and
 (b) timed by :mod:`repro.kernels.calibration` to build lookup tables.
 
-A kernel's *data size* follows the thesis's convention: the number of
+A kernel's *data size* follows the paper's convention: the number of
 elements in its primary input (e.g. a 836×836 matrix has data size
 836² = 698 896 — the paper's own worked example).
 """
@@ -53,7 +53,7 @@ class Kernel(abc.ABC):
     def square_side(data_size: int) -> int:
         """Side length for matrix kernels; validates perfect squares.
 
-        The thesis sizes matrix kernels by element count (836×836 →
+        The paper sizes matrix kernels by element count (836×836 →
         698 896); non-square counts are rejected rather than silently
         rounded.
         """

@@ -1,7 +1,7 @@
 """Breadth-first search (graph traversal dwarf).
 
 Level-synchronous BFS over a CSR adjacency matrix — the standard
-"frontier" formulation GPU/FPGA implementations use (thesis §3.2).  Data
+"frontier" formulation GPU/FPGA implementations use (paper §3.2).  Data
 size is the number of directed edges in the random input graph.
 """
 

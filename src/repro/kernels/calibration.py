@@ -1,6 +1,6 @@
 """Calibration: measure real kernels and build a fresh lookup table.
 
-The thesis's lookup table came from measurements on physical CPU/GPU/FPGA
+The paper's lookup table came from measurements on physical CPU/GPU/FPGA
 testbeds (Table 6).  We cannot assume those devices exist, so this module
 makes the substitution explicit:
 
@@ -8,7 +8,7 @@ makes the substitution explicit:
   this package on the host;
 * the **GPU/FPGA columns** are synthesized from the CPU measurement via a
   :class:`SpeedupModel` — per-kernel speedup factors, defaulting to the
-  ratios implied by the thesis's own Table 14 (e.g. BFS runs 332/106 ≈
+  ratios implied by the paper's own Table 14 (e.g. BFS runs 332/106 ≈
   3.1× faster on the FPGA than the CPU).
 
 This preserves the property the scheduling experiments actually depend on
@@ -20,7 +20,7 @@ accelerators can measure their own columns and merge tables instead.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.lookup import LookupEntry, LookupTable
 from repro.core.system import ProcessorType
 from repro.data.paper_tables import paper_lookup_table
-from repro.kernels.base import Kernel, KernelRegistry, kernel_registry
+from repro.kernels.base import KernelRegistry, kernel_registry
 
 
 @dataclass(frozen=True)
@@ -78,7 +78,7 @@ class SpeedupModel:
 
     @classmethod
     def from_paper_ratios(cls) -> "SpeedupModel":
-        """Speedups implied by the thesis's own Table 14 (geometric mean
+        """Speedups implied by the paper's own Table 14 (geometric mean
         across data sizes of CPU-time / platform-time per kernel)."""
         table = paper_lookup_table()
         factors: dict[str, dict[ProcessorType, float]] = {}
@@ -150,7 +150,7 @@ class Calibrator:
         """Measure all requested points and build a LookupTable.
 
         Non-CPU columns are synthesized through ``speedup_model``
-        (default: the thesis's Table 14 ratios — see module docstring).
+        (default: the paper's Table 14 ratios — see module docstring).
         """
         model = speedup_model or SpeedupModel.from_paper_ratios()
         entries: list[LookupEntry] = []

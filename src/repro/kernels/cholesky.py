@@ -1,6 +1,6 @@
 """Cholesky decomposition (dense linear algebra dwarf).
 
-The thesis (eq. (9)) uses the upper-triangular convention: for a positive
+The paper (eq. (9)) uses the upper-triangular convention: for a positive
 definite A, find U with positive diagonal such that A = Uᵀ·U.
 """
 
@@ -29,7 +29,7 @@ class CholeskyKernel(Kernel):
 
     def run(self, a: np.ndarray) -> np.ndarray:
         # numpy returns the lower factor L with A = L·Lᵀ; U = Lᵀ gives the
-        # thesis's A = Uᵀ·U convention.
+        # paper's A = Uᵀ·U convention.
         return np.linalg.cholesky(a).T
 
     def verify(self, output: np.ndarray, a: np.ndarray) -> bool:

@@ -1,7 +1,7 @@
-"""The thirteen Berkeley dwarfs (Asanović et al., 2006; thesis §2.4).
+"""The thirteen Berkeley dwarfs (Asanović et al., 2006; paper §2.4).
 
 A *dwarf* is "an algorithmic method that captures a pattern of computation
-and communication".  The thesis classifies each workload kernel by dwarf
+and communication".  The paper classifies each workload kernel by dwarf
 (Table 5) and tabulates applications against dwarfs (Table 1); this module
 encodes that taxonomy.
 """

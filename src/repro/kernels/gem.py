@@ -2,7 +2,7 @@
 
 "GEM calculates the electrostatic potential of a biomolecule as the sum
 of charges contributed by all atoms … owing to their interaction with a
-surface vertex (two sets of bodies)" (thesis §3.2).  Data size is the
+surface vertex (two sets of bodies)" (paper §3.2).  Data size is the
 number of atom–vertex interactions ``n_atoms × n_vertices``.
 """
 

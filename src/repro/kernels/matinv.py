@@ -1,7 +1,7 @@
 """Matrix inversion (dense linear algebra dwarf).
 
 Inverts a well-conditioned square matrix; data size is the element count
-(the thesis's 836×836 example is data size 698 896).
+(the paper's 836×836 example is data size 698 896).
 """
 
 from __future__ import annotations
@@ -31,7 +31,7 @@ class MatInvKernel(Kernel):
         return np.linalg.inv(a)
 
     def verify(self, output: np.ndarray, a: np.ndarray) -> bool:
-        """A · A⁻¹ ≈ I (eq. (10) of the thesis)."""
+        """A · A⁻¹ ≈ I (eq. (10) of the paper)."""
         if output.shape != a.shape:
             return False
         ident = a @ output

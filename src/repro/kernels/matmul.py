@@ -1,7 +1,7 @@
 """Matrix–matrix multiplication (dense linear algebra dwarf).
 
 "One of the most highly used kernels in a variety of domains including
-image processing, machine learning, computer vision …" (thesis §3.2).
+image processing, machine learning, computer vision …" (paper §3.2).
 Data size is the element count of each square operand.
 """
 

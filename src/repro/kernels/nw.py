@@ -1,7 +1,7 @@
 """Needleman-Wunsch global sequence alignment (dynamic programming dwarf).
 
 "A dynamic programming algorithm for optimal sequence alignment … a
-global alignment technique" (thesis §3.2).  Data size is the DP-matrix
+global alignment technique" (paper §3.2).  Data size is the DP-matrix
 cell count |s₁|·|s₂|; we use square instances (|s₁| = |s₂| = √size).
 
 The row recurrence with a linear gap penalty *g*::
@@ -63,7 +63,6 @@ class NeedlemanWunschKernel(Kernel):
     def run(self, seq1: np.ndarray, seq2: np.ndarray) -> np.ndarray:
         n, m = len(seq1), len(seq2)
         gap = self.gap
-        js = np.arange(1, m + 1, dtype=np.int64)
         prev = -gap * np.arange(m + 1, dtype=np.int64)  # row 0
         h = np.empty((n + 1, m + 1), dtype=np.int64)
         h[0] = prev

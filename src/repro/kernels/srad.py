@@ -3,7 +3,7 @@
 The Yu-Acton PDE filter for multiplicative (speckle) noise: "the
 edge-sensitive diffusion for speckled images … enhances edges by
 inhibiting diffusion across edges and allowing diffusion on either side
-of the edge" (thesis §3.2).  Data size is the pixel count of the square
+of the edge" (paper §3.2).  Data size is the pixel count of the square
 input image.
 
 Each iteration computes the instantaneous coefficient of variation *q*,

@@ -1,4 +1,4 @@
-"""Scheduling policies: APT (the contribution) plus all thesis baselines.
+"""Scheduling policies: APT (the contribution) plus all paper baselines.
 
 Dynamic: :class:`APT`, :class:`APT_RT`, :class:`MET`, :class:`SPN`,
 :class:`SS`, :class:`AG`, :class:`OLB`, :class:`RandomPolicy`.

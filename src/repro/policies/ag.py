@@ -1,7 +1,7 @@
 """AG — Adaptive Greedy (Wu, Shi & Hong, 2012), generalized to CPU/GPU/FPGA.
 
 AG maintains a queue per processor and assigns each arriving kernel to the
-device with the lowest estimated *waiting* time (thesis eqs. (1)–(2))::
+device with the lowest estimated *waiting* time (paper eqs. (1)–(2))::
 
     τ_g   = τ_g^q + τ_g^d          total waiting time on device g
     τ_g^q = N_g · τ_g^k            queueing delay
@@ -12,7 +12,7 @@ running) and ``τ_g^k`` is the average execution time of the last *k*
 kernel calls on ``g``.  Crucially the *kernel's own execution time on g*
 is **not** part of the metric — AG optimizes data movement and queueing,
 not compute placement, which is why it collapses on workloads with large
-compute heterogeneity (thesis Tables 8–10).
+compute heterogeneity (paper Tables 8–10).
 """
 
 from __future__ import annotations

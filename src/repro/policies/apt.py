@@ -1,4 +1,4 @@
-"""APT — Alternative Processor within Threshold (the thesis's contribution).
+"""APT — Alternative Processor within Threshold (the paper's contribution).
 
 APT (Algorithm 1, §3.1) is a dynamic heuristic that adds *flexibility* to
 MET.  For each ready kernel (FCFS):
@@ -16,7 +16,7 @@ MET.  For each ready kernel (FCFS):
 4. if no alternative qualifies, the kernel waits (exactly like MET).
 
 ``α`` tunes the flexibility: α → 1 degenerates to MET (never accept a
-slower processor), large α floods slow processors.  The thesis finds a
+slower processor), large α floods slow processors.  The paper finds a
 "valley" with the optimum at α = 4 for its CPU/GPU/FPGA system.
 """
 
@@ -35,7 +35,7 @@ class APT(DynamicPolicy):
         is the kernel's execution time on its best processor.
     include_transfer:
         Whether the alternative-processor test compares
-        ``exec + transfer ≤ threshold`` (the thesis's definition of
+        ``exec + transfer ≤ threshold`` (the paper's definition of
         ``p_alt``; default) or ``exec ≤ threshold`` alone.  Exposed as an
         ablation knob.
     """
@@ -53,7 +53,7 @@ class APT(DynamicPolicy):
         self._alt_by_kernel = {}
 
     def stats(self) -> dict[str, object]:
-        """Alternative-assignment counts, as in thesis Tables 15/16."""
+        """Alternative-assignment counts, as in paper Tables 15/16."""
         return {
             "alternative_assignments": sum(self._alt_by_kernel.values()),
             "alternative_by_kernel": dict(sorted(self._alt_by_kernel.items())),

@@ -1,4 +1,4 @@
-"""APT-RT — APT with remaining-time awareness (the thesis's future work).
+"""APT-RT — APT with remaining-time awareness (the paper's future work).
 
 The conclusion sketches the next step: "In the future, we will consider
 the remaining execution time in the optimal processor before deciding

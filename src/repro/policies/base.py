@@ -1,6 +1,6 @@
 """Scheduling-policy interface.
 
-The thesis studies two families (§2.5.2):
+The paper studies two families (§2.5.2):
 
 * **dynamic** policies see only the current system state — the ready set
   ``I`` and the processor states — and make assignments on the fly;
@@ -74,7 +74,7 @@ class SchedulingContext:
 
     The ready set is ordered first-come-first-serve — by the time each
     kernel's dependencies completed, ties broken by kernel id (arrival
-    order), matching the thesis's queue discipline (§3.1).
+    order), matching the paper's queue discipline (§3.1).
     """
 
     def __init__(

@@ -1,6 +1,6 @@
 """Batch-mode heuristics from Braun et al. (2001): Min-Min, Max-Min, Sufferage.
 
-The thesis evaluates two of Braun's eleven heuristics (MET and, via
+The paper evaluates two of Braun's eleven heuristics (MET and, via
 lineage, OLB); these three are the other classics from the same study and
 round out the dynamic baseline pool.  All three rate each ready kernel by
 its *completion* cost on the currently idle processors

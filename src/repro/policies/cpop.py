@@ -1,7 +1,7 @@
 """CPOP — Critical-Path-on-a-Processor (Topcuoglu et al., 2002).
 
-The companion algorithm to HEFT from the same paper the thesis builds on.
-Kernel priority is ``rank_u + rank_d`` (upward + downward rank, thesis
+The companion algorithm to HEFT from the same paper the paper builds on.
+Kernel priority is ``rank_u + rank_d`` (upward + downward rank, paper
 eqs. (3)–(5)); the set of kernels with priority equal to the entry
 kernel's is the *critical path*, and all of it is pinned to the single
 processor that minimizes the path's total execution time.  Off-path

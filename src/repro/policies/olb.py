@@ -3,7 +3,7 @@
 OLB assigns the next kernel to the next available processor without
 looking at execution times at all (§2.1: it "does not consider the
 execution time of each task on the given hardware platform before making
-assignments").  The thesis excludes it from the head-to-head comparison
+assignments").  The paper excludes it from the head-to-head comparison
 for that reason, but it is the ancestor of SPN and a useful
 lower-baseline, so we ship it too.
 """

@@ -1,7 +1,7 @@
 """PEFT — Predict Earliest Finish Time (Arabnejad & Barbosa, 2013).
 
 PEFT is a static list scheduler like HEFT, but its look-ahead comes from a
-pre-computed **Optimistic Cost Table** (thesis eq. (6))::
+pre-computed **Optimistic Cost Table** (paper eq. (6))::
 
     OCT(t_i, p_k) = max_{t_j ∈ succ(t_i)} [ min_{p_w} { OCT(t_j, p_w)
                     + w(t_j, p_w) + c̄_{i,j} } ],   c̄_{i,j} = 0 if p_w = p_k

@@ -35,7 +35,7 @@ _REGISTRY: dict[str, Callable[..., Policy]] = {
     "cpop": CPOP,
 }
 
-#: The seven policies of the thesis's head-to-head comparison (Table 4).
+#: The seven policies of the paper's head-to-head comparison (Table 4).
 PAPER_POLICIES = ("apt", "met", "spn", "ss", "ag", "heft", "peft")
 
 

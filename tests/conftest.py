@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.lookup import LookupEntry, LookupTable
 from repro.core.simulator import Simulator
-from repro.core.system import CPU_GPU_FPGA, Processor, ProcessorType, SystemConfig
+from repro.core.system import CPU_GPU_FPGA, ProcessorType, SystemConfig
 from repro.data.paper_tables import (
     FIGURE5_KERNELS,
     figure5_lookup_table,

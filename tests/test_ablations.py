@@ -5,7 +5,6 @@ import pytest
 from repro.experiments import ablations
 from repro.experiments.ablations import APTLongestFirst
 from repro.experiments.runner import ExperimentRunner
-from repro.policies.met import MET
 from tests.test_simulator import dfg_of
 
 

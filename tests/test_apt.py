@@ -1,17 +1,14 @@
 """Behavioural tests for APT — the paper's contribution.
 
-Includes the exact reproduction of the thesis's Figure 5 example, the
+Includes the exact reproduction of the paper's Figure 5 example, the
 only published experiment with fully-specified inputs.
 """
 
 import pytest
 
 from repro.core.simulator import Simulator
-from repro.core.system import CPU_GPU_FPGA
-from repro.graphs.dfg import DFG
 from repro.policies.apt import APT
 from repro.policies.met import MET
-from tests.conftest import spec
 from tests.test_simulator import dfg_of
 
 

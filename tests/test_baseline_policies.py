@@ -122,7 +122,7 @@ class TestAG:
     ):
         # After history builds up, AG's metric is queue-based only — a
         # fast_gpu kernel can land on a non-GPU device.  (This is AG's
-        # designed failure mode on heterogeneous compute; thesis §2.5.3.)
+        # designed failure mode on heterogeneous compute; paper §2.5.3.)
         dfg = dfg_of(*["fast_gpu"] * 6)
         result = synth_sim_no_transfer.run(dfg, AG())
         assert any(e.processor != "gpu0" for e in result.schedule)

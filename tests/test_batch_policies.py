@@ -1,11 +1,8 @@
 """Behavioural tests for Min-Min, Max-Min, Sufferage and CPOP."""
 
-import pytest
-
 from repro.policies.batch_mode import MaxMin, MinMin, Sufferage
 from repro.policies.cpop import CPOP, critical_path_kernels
 from repro.policies.met import MET
-from tests.conftest import make_synth_population
 from tests.test_simulator import dfg_of
 
 

@@ -7,7 +7,7 @@ from repro.core.energy import (
     PowerModel,
     energy_of,
 )
-from repro.core.system import CPU_GPU_FPGA, ProcessorType
+from repro.core.system import ProcessorType
 from repro.policies.apt import APT
 from repro.policies.met import MET
 from tests.test_simulator import dfg_of

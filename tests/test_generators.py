@@ -96,7 +96,7 @@ class TestType2:
         assert widths.count(1) == len(widths) - 3
 
     def test_depth_is_fixed_regardless_of_n(self, rng):
-        # Growing n only widens the diamonds (thesis: "the structure
+        # Growing n only widens the diamonds (paper: "the structure
         # remains the same").
         d46 = make_type2_dfg(46, rng=np.random.default_rng(1))
         d157 = make_type2_dfg(157, rng=np.random.default_rng(2))

@@ -4,7 +4,6 @@ import pytest
 
 from repro.graphs.analysis import (
     critical_path,
-    critical_path_length,
     levels,
     lower_bound_makespan,
     parallelism_profile,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.lookup import LookupEntry, LookupTable, scale_heterogeneity
+from repro.core.lookup import scale_heterogeneity
 from repro.core.simulator import Simulator
 from repro.core.system import ProcessorType
 from repro.data.paper_tables import paper_lookup_table

@@ -60,7 +60,7 @@ class TestDwarfs:
 
 class TestSquareSide:
     def test_accepts_perfect_squares(self):
-        assert Kernel.square_side(698_896) == 836  # the thesis's own example
+        assert Kernel.square_side(698_896) == 836  # the paper's own example
 
     def test_rejects_non_squares(self):
         with pytest.raises(ValueError):

@@ -1,7 +1,5 @@
 """Unit tests for the execution-time lookup table."""
 
-import math
-
 import pytest
 
 from repro.core.lookup import KernelNotFoundError, LookupEntry, LookupTable

@@ -7,7 +7,6 @@ import pytest
 from repro.core.metrics import (
     LambdaStats,
     ProcessorUsage,
-    SimulationMetrics,
     compute_metrics,
 )
 from repro.core.schedule import Schedule

@@ -1,6 +1,6 @@
 """Tests for systems with multiple processors of one category.
 
-The thesis's simulator makes "the number of processors of any type …
+The paper's simulator makes "the number of processors of any type …
 customizable" (§3.2) even though the evaluation uses 1/1/1; these tests
 pin the multi-instance semantics of every policy family.
 """

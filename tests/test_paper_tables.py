@@ -1,6 +1,4 @@
-"""Tests on the transcribed thesis data (Tables 5–7, 14; graph sizes)."""
-
-import pytest
+"""Tests on the transcribed paper data (Tables 5–7, 14; graph sizes)."""
 
 from repro.core.system import ProcessorType
 from repro.data.paper_tables import (
@@ -40,7 +38,7 @@ class TestTable14:
         assert t.time("matinv", 698_896, FPGA) == 110.597
 
     def test_best_processor_structure(self):
-        # Dominant platforms per kernel (thesis §4.1 discussion).
+        # Dominant platforms per kernel (paper §4.1 discussion).
         t = paper_lookup_table()
         assert t.best_processor("matmul", 64_000_000, (CPU, GPU, FPGA))[0] is GPU
         assert t.best_processor("bfs", 2_034_736, (CPU, GPU, FPGA))[0] is FPGA
@@ -49,7 +47,7 @@ class TestTable14:
         assert t.best_processor("cholesky", 250_000, (CPU, GPU, FPGA))[0] is FPGA
 
     def test_heterogeneity_is_large(self):
-        # The thesis picks these kernels because their cross-platform
+        # The paper picks these kernels because their cross-platform
         # spreads are huge; matmul's exceeds 10^6.
         t = paper_lookup_table()
         assert t.heterogeneity("matmul", 64_000_000, (CPU, GPU, FPGA)) > 1e6

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.simulator import Simulator
 from repro.policies.base import (
     Assignment,
     DynamicPolicy,

@@ -19,7 +19,7 @@ from repro.core.metrics import LambdaStats
 from repro.core.simulator import Simulator
 from repro.core.system import CPU_GPU_FPGA, ProcessorType
 from repro.graphs.analysis import lower_bound_makespan, sequential_time
-from repro.graphs.dfg import DFG, KernelSpec
+from repro.graphs.dfg import DFG
 from repro.graphs.generators import KernelPopulation, make_layered_dfg
 from repro.graphs.serialization import dfg_from_dict, dfg_to_dict
 from repro.kernels.nw import NeedlemanWunschKernel, nw_score_matrix_reference
@@ -118,7 +118,6 @@ class TestAPTLaws:
         result = sim.run(dfg, APT(alpha=alpha))
         for e in result.schedule:
             if e.used_alternative:
-                spec = KernelSpec(e.kernel, e.data_size)
                 _, x = LOOKUP.best_processor(
                     e.kernel, e.data_size, SYSTEM.processor_types()
                 )

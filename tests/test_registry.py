@@ -12,7 +12,7 @@ from repro.policies.registry import (
 
 
 class TestRegistry:
-    def test_all_thesis_policies_available(self):
+    def test_all_paper_policies_available(self):
         available = available_policies()
         for name in PAPER_POLICIES:
             assert name in available

@@ -36,8 +36,8 @@ class TestTableResult:
 
     def test_render_alignment_consistent(self, table):
         lines = render_table(table).splitlines()
-        data_lines = [l for l in lines if "|" in l]
-        assert len({len(l) for l in data_lines}) == 1
+        data_lines = [ln for ln in lines if "|" in ln]
+        assert len({len(ln) for ln in data_lines}) == 1
 
 
 class TestFigureResult:
@@ -68,7 +68,7 @@ class TestFigureResult:
             x_values=(1, 2),
             series={"s": (100.0, 50.0)},
         )
-        lines = [l for l in render_figure(fig).splitlines() if "#" in l]
+        lines = [ln for ln in render_figure(fig).splitlines() if "#" in ln]
         assert lines[0].count("#") > lines[1].count("#")
 
 
@@ -93,5 +93,5 @@ class TestGantt:
     def test_idle_processor_rendered_as_dots(self, synth_sim, system):
         result = synth_sim.run(dfg_of("fast_cpu"), MET())
         lines = ascii_gantt(result.schedule, system).splitlines()
-        fpga_line = next(l for l in lines if l.startswith("fpga0"))
+        fpga_line = next(ln for ln in lines if ln.startswith("fpga0"))
         assert set(fpga_line.split("|")[1]) == {"·"}

@@ -1,7 +1,7 @@
 """Integration tests asserting the paper's *qualitative* results.
 
-These are the acceptance criteria of DESIGN.md §4: the regenerated random
-graphs can't match the thesis's milliseconds, but the relationships its
+These are the acceptance criteria of docs/architecture.md ("Reproduction notes"): the regenerated random
+graphs can't match the paper's milliseconds, but the relationships its
 conclusions rest on must hold.  One shared runner memoizes the underlying
 simulations across tests.
 """
@@ -34,7 +34,7 @@ class TestAPTvsMET:
     def test_alpha_small_mimics_met(self, runner, suite):
         """Thesis §4.2: at α=1.5 APT and MET makespans are (near) equal.
 
-        Not byte-identical — the thesis's own Table 15 shows a couple of
+        Not byte-identical — the paper's own Table 15 shows a couple of
         NW kernels taking an alternative even at α=1.5 (GPU time 146 ms ≤
         1.5 × 112 ms), so we assert every graph within 2 % and most exactly
         tied."""
@@ -68,17 +68,19 @@ class TestAPTvsMET:
         ]
         impr, second = improvement_vs_second_best(values, "apt")
         assert impr > 5.0
-        assert second == "met"  # MET is the runner-up, as in the thesis
+        assert second == "met"  # MET is the runner-up, as in the paper
 
     def test_lambda_improvement_exceeds_exec_improvement(self, runner, suite):
         """Thesis §4.4: the λ gain over MET is larger than the makespan
         gain — "the percentage of improvement is higher for λ than for the
-        overall execution time".  (MET is the thesis's effective runner-up
-        for both metrics; see EXPERIMENTS.md for the one λ-ordering
+        overall execution time".  (MET is the paper's effective runner-up
+        for both metrics; see docs/architecture.md for the one λ-ordering
         deviation our accounting produces on Type-1.)"""
         met = runner.run_suite(suite, "met", RATE)
         apt = runner.run_suite(suite, "apt", RATE, alpha=4.0)
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
+
         impr_exec = 1 - mean([r.makespan for r in apt]) / mean(
             [r.makespan for r in met]
         )
@@ -131,15 +133,19 @@ class TestAlphaValley:
 class TestPolicyOrdering:
     def test_met_apt_dominate_naive_dynamic_policies(self, runner, suite):
         """Tables 8-10: SPN, SS and AG trail MET/APT by a wide margin."""
-        mean = lambda recs: sum(r.makespan for r in recs) / len(recs)
+        def mean(recs):
+            return sum(r.makespan for r in recs) / len(recs)
+
         met = mean(runner.run_suite(suite, "met", RATE))
         for name in ("spn", "ss", "ag"):
             assert mean(runner.run_suite(suite, name, RATE)) > 1.5 * met
 
     def test_static_policies_land_near_met(self, runner, suite):
-        """HEFT/PEFT sit in MET's neighbourhood (thesis: within a few %;
-        our idealized planner may fall on either side — see EXPERIMENTS.md)."""
-        mean = lambda recs: sum(r.makespan for r in recs) / len(recs)
+        """HEFT/PEFT sit in MET's neighbourhood (paper: within a few %;
+        our idealized planner may fall on either side — see docs/architecture.md)."""
+        def mean(recs):
+            return sum(r.makespan for r in recs) / len(recs)
+
         met = mean(runner.run_suite(suite, "met", RATE))
         for name in ("heft", "peft"):
             value = mean(runner.run_suite(suite, name, RATE))

@@ -56,8 +56,6 @@ class TestScheduleEntry:
         assert e.lambda_delay == 0.0
 
     def test_arrival_after_ready_rejected(self):
-        import dataclasses
-
         with pytest.raises(ValueError, match="arrives"):
             ScheduleEntry(
                 kernel_id=0,

@@ -1,6 +1,6 @@
 """Seed robustness: the headline result must not be a seed artifact.
 
-The evaluation graphs are regenerated (the thesis's are unpublished), so
+The evaluation graphs are regenerated (the paper's are unpublished), so
 the α = 4 improvement claim is re-checked across several unrelated seeds
 on reduced suites.  Slow-ish (~10 s) but it guards the core conclusion.
 """

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.core.simulator import SchedulingError, Simulator
-from repro.core.system import CPU_GPU_FPGA, ProcessorType
-from repro.graphs.dfg import DFG, KernelSpec
+from repro.core.system import CPU_GPU_FPGA
+from repro.graphs.dfg import DFG
 from repro.policies.apt import APT
 from repro.policies.base import Assignment, DynamicPolicy
 from repro.policies.met import MET
 from repro.policies.olb import OLB
-from tests.conftest import SYNTH_SIZE, spec
+from tests.conftest import spec
 
 
 def dfg_of(*kernels: str, deps=()) -> DFG:

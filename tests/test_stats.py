@@ -1,4 +1,4 @@
-"""Unit tests for improvement statistics (thesis eqs. (13)-(14))."""
+"""Unit tests for improvement statistics (paper eqs. (13)-(14))."""
 
 import pytest
 

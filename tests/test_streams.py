@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.simulator import Simulator
 from repro.graphs.dfg import DFG
 from repro.graphs.streams import (
     ApplicationArrival,
@@ -14,7 +13,6 @@ from repro.graphs.streams import (
 from repro.policies.apt import APT
 from repro.policies.met import MET
 from repro.policies.olb import OLB
-from tests.conftest import spec
 from tests.test_simulator import dfg_of
 
 

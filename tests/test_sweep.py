@@ -1,0 +1,331 @@
+"""Tests for the parallel sweep engine and its result cache.
+
+Covers the determinism contract the engine rests on: content hashes are
+stable across processes, a parallel sweep is bit-identical to a serial
+one, a warm cache performs zero new simulations, and worker failures
+propagate instead of yielding partial results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core.lookup import KernelNotFoundError
+from repro.core.system import CPU_GPU_FPGA
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import (
+    SWEEP_FORMAT_VERSION,
+    PolicySpec,
+    ResultCache,
+    SimSettings,
+    SweepEngine,
+    SweepJob,
+    SweepSpec,
+    execute_payload,
+    hash_payload,
+    make_job,
+    resolve_workers,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.graphs.dfg import DFG, KernelSpec
+from tests.conftest import SYNTH_SIZE, make_synthetic_lookup
+
+
+def small_dfg(name: str = "diamond") -> DFG:
+    """A 4-kernel diamond over the synthetic lookup's kernels."""
+    return DFG.from_kernels(
+        [
+            KernelSpec("fast_cpu", SYNTH_SIZE),
+            KernelSpec("fast_gpu", SYNTH_SIZE),
+            KernelSpec("fast_fpga", SYNTH_SIZE),
+            KernelSpec("uniform", SYNTH_SIZE),
+        ],
+        dependencies=[(0, 1), (0, 2), (1, 3), (2, 3)],
+        name=name,
+    )
+
+
+@pytest.fixture
+def lookup():
+    return make_synthetic_lookup()
+
+
+@pytest.fixture
+def system():
+    return CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+
+
+def job_of(lookup, system, *, alpha: float = 4.0, name: str = "diamond", **kwargs):
+    return make_job(
+        small_dfg(name), PolicySpec.of("apt", alpha=alpha), system, lookup, **kwargs
+    )
+
+
+class TestContentHash:
+    def test_identical_jobs_hash_equal(self, lookup, system):
+        assert job_of(lookup, system).content_hash() == job_of(lookup, system).content_hash()
+
+    def test_tag_does_not_affect_hash(self, lookup, system):
+        a = job_of(lookup, system, tag={"graph_index": 1})
+        b = job_of(lookup, system, tag={"graph_index": 2})
+        assert a.content_hash() == b.content_hash()
+
+    def test_provider_does_not_affect_hash(self, lookup, system):
+        plain = make_job(small_dfg(), PolicySpec.of("met"), system, lookup)
+        with_provider = make_job(
+            small_dfg(), PolicySpec.of("met", provider="repro.policies.met"),
+            system, lookup,
+        )
+        assert plain.content_hash() == with_provider.content_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            lambda lk, sys_: job_of(lk, sys_, alpha=8.0),
+            lambda lk, sys_: job_of(lk, CPU_GPU_FPGA(transfer_rate_gbps=8.0)),
+            lambda lk, sys_: job_of(lk, sys_, settings=SimSettings(exec_noise_sigma=0.1)),
+            lambda lk, sys_: job_of(lk, sys_, arrivals={1: 5.0}),
+            lambda lk, sys_: make_job(
+                small_dfg(), PolicySpec.of("met"), sys_, lk
+            ),
+        ],
+    )
+    def test_semantic_change_changes_hash(self, lookup, system, change):
+        assert (
+            job_of(lookup, system).content_hash()
+            != change(lookup, system).content_hash()
+        )
+
+    def test_hash_stable_across_processes(self, lookup, system):
+        job = job_of(lookup, system)
+        local = job.content_hash()
+        with multiprocessing.get_context().Pool(2) as pool:
+            remote = pool.map(hash_payload, [job.payload(), job.payload()])
+        assert remote == [local, local]
+
+    def test_digest_shortcut_matches_full_hash(self, lookup, system):
+        via_make_job = job_of(lookup, system)
+        assert via_make_job.lookup_digest is not None
+        manual = SweepJob(
+            dfg=dict(via_make_job.dfg),
+            system=dict(via_make_job.system),
+            lookup=list(via_make_job.lookup),
+            policy=via_make_job.policy,
+            settings=via_make_job.settings,
+        )
+        assert manual.lookup_digest is None
+        assert manual.content_hash() == via_make_job.content_hash()
+
+    def test_system_roundtrip(self, system):
+        data = system_to_dict(system)
+        rebuilt = system_from_dict(json.loads(json.dumps(data)))
+        assert system_to_dict(rebuilt) == data
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        record = {"version": SWEEP_FORMAT_VERSION, "makespan": 1.5}
+        cache.put("abc", record)
+        assert cache.get("abc") == record
+        assert "abc" in cache and len(cache) == 1
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        cache.path_for("bad").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("old", {"version": SWEEP_FORMAT_VERSION + 1, "makespan": 1.0})
+        assert cache.get("old") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {"version": SWEEP_FORMAT_VERSION})
+        cache.put("b", {"version": SWEEP_FORMAT_VERSION})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSweepEngine:
+    def test_memory_cache_hit_skips_simulation(self, lookup, system):
+        engine = SweepEngine()
+        job = job_of(lookup, system)
+        first = engine.run_jobs([job])
+        assert engine.stats.simulated == 1
+        second = engine.run_jobs([job_of(lookup, system)])
+        assert engine.stats.simulated == 1
+        assert engine.stats.memory_hits == 1
+        assert first == second
+
+    def test_duplicates_within_batch_simulate_once(self, lookup, system):
+        engine = SweepEngine()
+        results = engine.run_jobs([job_of(lookup, system), job_of(lookup, system)])
+        assert engine.stats.simulated == 1
+        assert results[0] == results[1]
+
+    def test_warm_disk_cache_performs_zero_simulations(self, lookup, system, tmp_path):
+        jobs = [
+            job_of(lookup, system, alpha=alpha, name=name)
+            for alpha in (1.5, 4.0)
+            for name in ("g1", "g2")
+        ]
+        cold = SweepEngine(cache_dir=tmp_path)
+        expected = cold.run_jobs(jobs)
+        assert cold.stats.simulated == len(jobs)
+
+        warm = SweepEngine(cache_dir=tmp_path, workers=4)
+        got = warm.run_jobs(jobs)
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == len(jobs)
+        assert got == expected
+
+    def test_use_cache_false_always_simulates(self, lookup, system):
+        engine = SweepEngine(use_cache=False)
+        job = job_of(lookup, system)
+        engine.run_jobs([job])
+        engine.run_jobs([job])
+        assert engine.stats.simulated == 2
+
+    def test_parallel_bit_identical_to_serial(self, lookup, system):
+        jobs = [
+            make_job(small_dfg(f"g{i}"), spec, system, lookup)
+            for i in range(3)
+            for spec in (
+                PolicySpec.of("apt", alpha=4.0),
+                PolicySpec.of("met"),
+                PolicySpec.of("heft"),
+            )
+        ]
+        serial = SweepEngine(workers=1, use_cache=False).run_jobs(jobs)
+        parallel = SweepEngine(workers=4, use_cache=False).run_jobs(jobs)
+        assert serial == parallel  # bit-identical metrics, same order
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_failure_propagates(self, lookup, system, workers):
+        bad = make_job(
+            DFG.from_kernels([KernelSpec("not_in_table", 10)], name="bad"),
+            PolicySpec.of("met"),
+            system,
+            lookup,
+        )
+        engine = SweepEngine(workers=workers, use_cache=False)
+        with pytest.raises(KernelNotFoundError):
+            engine.run_jobs([job_of(lookup, system), bad])
+
+    def test_strict_lookup_mode_survives_serialization(self, lookup, system):
+        from repro.core.lookup import LookupTable
+
+        strict = LookupTable(list(lookup.entries()), interpolate=False)
+        unmeasured = DFG.from_kernels(
+            [KernelSpec("fast_cpu", SYNTH_SIZE // 2)], name="odd_size"
+        )
+        job = make_job(unmeasured, PolicySpec.of("met"), system, strict)
+        with pytest.raises(KeyError):
+            SweepEngine().run_jobs([job])
+        # strict and interpolating tables must not share cache entries
+        loose = make_job(unmeasured, PolicySpec.of("met"), system, lookup)
+        assert job.content_hash() != loose.content_hash()
+
+    def test_unknown_policy_fails(self, lookup, system):
+        job = make_job(small_dfg(), PolicySpec.of("bogus"), system, lookup)
+        with pytest.raises(KeyError):
+            SweepEngine().run_jobs([job])
+
+    def test_execute_payload_matches_in_process_simulation(self, lookup, system):
+        from repro.core.simulator import Simulator
+        from repro.policies.registry import get_policy
+
+        job = job_of(lookup, system, alpha=4.0)
+        record = execute_payload(job.runnable_payload())
+        direct = Simulator(system, lookup).run(small_dfg(), get_policy("apt", alpha=4.0))
+        assert record["makespan"] == direct.makespan
+        assert record["total_lambda"] == direct.metrics.lambda_stats.total
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestSweepSpec:
+    def test_expand_covers_grid(self):
+        spec = SweepSpec(
+            policies=(PolicySpec.of("apt", alpha=4.0), PolicySpec.of("met")),
+            dfg_types=(1, 2),
+            rates_gbps=(4.0, 8.0),
+            n_graphs=3,
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 2 * 2 * 2 * 3
+        tags = {
+            (t["dfg_type"], t["rate_gbps"], t["policy"], t["graph_index"])
+            for t in (job.tag for job in jobs)
+        }
+        assert len(tags) == len(jobs)
+
+    def test_seed_enters_hash(self):
+        base = SweepSpec(policies=(PolicySpec.of("met"),), n_graphs=1)
+        a = SweepSpec(**{**base.__dict__, "seeds": (1,)}).expand()
+        b = SweepSpec(**{**base.__dict__, "seeds": (2,)}).expand()
+        assert a[0].content_hash() != b[0].content_hash()
+
+
+class TestRunnerIntegration:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.experiments.workloads import paper_type1_suite
+
+        return paper_type1_suite()[:2]
+
+    def test_parallel_runner_matches_serial(self, suite):
+        serial = ExperimentRunner().compare_policies(suite, ("apt", "met"), apt_alpha=4.0)
+        parallel = ExperimentRunner(workers=4).compare_policies(
+            suite, ("apt", "met"), apt_alpha=4.0
+        )
+        assert serial == parallel
+
+    def test_runner_warm_cache_rerun_simulates_nothing(self, suite, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path)
+        first.run_suite(suite, "met")
+        assert first.engine.stats.simulated == len(suite)
+
+        rerun = ExperimentRunner(cache_dir=tmp_path)
+        records = rerun.run_suite(suite, "met")
+        assert rerun.engine.stats.simulated == 0
+        assert [r.makespan for r in records] == [
+            r.makespan for r in first.run_suite(suite, "met")
+        ]
+
+    def test_runner_memo_distinguishes_seeds(self):
+        # suites from different seeds reuse graph *names*; the memo must
+        # key on content, not name, when one runner serves both.
+        from repro.experiments.workloads import paper_type1_suite
+
+        runner = ExperimentRunner()
+        seed1 = runner.run_one(0, paper_type1_suite(seed=1)[0], "met", 4.0)
+        seed2 = runner.run_one(0, paper_type1_suite(seed=2)[0], "met", 4.0)
+        assert seed1.graph_name == seed2.graph_name
+        assert seed1.makespan != seed2.makespan
+
+    def test_records_carry_energy(self, suite):
+        rec = ExperimentRunner().run_one(0, suite[0], "met", 4.0)
+        assert rec.energy_joules > 0
+        assert rec.energy_delay_product > 0
+
+    def test_static_overhead_not_cached_into_disk_results(self, suite, tmp_path):
+        charged = ExperimentRunner(
+            static_planning_overhead_per_kernel_ms=10.0, cache_dir=tmp_path
+        )
+        a = charged.run_one(0, suite[0], "heft", 4.0)
+        # a second runner *without* the overhead reads the same cache entry
+        plain = ExperimentRunner(cache_dir=tmp_path)
+        b = plain.run_one(0, suite[0], "heft", 4.0)
+        assert plain.engine.stats.simulated == 0
+        assert a.makespan == pytest.approx(b.makespan + 10.0 * len(suite[0]))

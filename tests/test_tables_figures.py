@@ -74,7 +74,7 @@ class TestImprovementTable:
     def test_table13_alpha_small_near_zero(self, runner):
         t = tables.table13(runner=runner)
         row = next(r for r in t.rows if r[0] == 1.5)
-        assert abs(row[1]) < 2.0  # thesis: -0.1
+        assert abs(row[1]) < 2.0  # paper: -0.1
 
 
 class TestAllocationTables:

@@ -5,7 +5,6 @@ import pytest
 from repro.data.paper_tables import PAPER_GRAPH_SIZES
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.workloads import (
-    DEFAULT_SEED,
     paper_suite,
     paper_type1_suite,
     paper_type2_suite,
@@ -35,7 +34,7 @@ class TestSuites:
         )
 
     def test_both_types_share_kernel_streams(self):
-        # Same seeds feed both suites (the thesis fits one kernel series
+        # Same seeds feed both suites (the paper fits one kernel series
         # into either graph model).
         t1 = paper_type1_suite()[0]
         t2 = paper_type2_suite()[0]
