@@ -12,6 +12,7 @@ import pytest
 from repro.core.simulator import Simulator
 from repro.experiments.workloads import paper_type2_suite
 from repro.policies.registry import PAPER_POLICIES, get_policy
+from repro.core.cost import CostModel
 
 
 @pytest.fixture(scope="module")
@@ -39,6 +40,6 @@ def test_bench_static_planning_phase_alone(benchmark, runner, biggest_graph, pol
     system = runner.system_for(4.0)
 
     plan = benchmark(
-        lambda: policy.plan(biggest_graph, system, runner.lookup, 4, "single")
+        lambda: policy.plan(biggest_graph, CostModel(system, runner.lookup))
     )
     plan.validate(biggest_graph, system)

@@ -6,8 +6,10 @@ subpackage rebuilds that simulator:
 
 * :mod:`repro.core.system` — processors, link model, system configuration;
 * :mod:`repro.core.lookup` — the kernel-execution-time lookup table;
+* :mod:`repro.core.cost` — the unified assignment cost model;
 * :mod:`repro.core.events` — the event queue driving the simulation;
 * :mod:`repro.core.simulator` — the simulation engine itself;
+* :mod:`repro.core.reference` — the pre-refactor loop, kept as an oracle;
 * :mod:`repro.core.schedule` — the schedule record a run produces;
 * :mod:`repro.core.metrics` — makespan, utilization and λ-delay metrics;
 * :mod:`repro.core.trace` — optional step-by-step state traces (Figure 5).
@@ -15,8 +17,10 @@ subpackage rebuilds that simulator:
 
 from repro.core.system import Processor, ProcessorType, SystemConfig, CPU_GPU_FPGA
 from repro.core.lookup import LookupTable, LookupEntry
+from repro.core.cost import CostModel
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.simulator import Simulator, SimulationResult
+from repro.core.reference import ReferenceSimulator
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.metrics import SimulationMetrics, LambdaStats, ProcessorUsage
 from repro.core.trace import StateTrace, StateSnapshot
@@ -35,11 +39,13 @@ __all__ = [
     "CPU_GPU_FPGA",
     "LookupTable",
     "LookupEntry",
+    "CostModel",
     "Event",
     "EventKind",
     "EventQueue",
     "Simulator",
     "SimulationResult",
+    "ReferenceSimulator",
     "Schedule",
     "ScheduleEntry",
     "SimulationMetrics",

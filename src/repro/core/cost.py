@@ -1,0 +1,250 @@
+"""The unified assignment cost model.
+
+Every "what does this assignment cost" question in the system — static
+planning (HEFT/PEFT/CPOP rank and EFT computations), dynamic selection
+(APT's threshold test, AG's waiting-time metric, the batch-mode
+completion costs) and execution (the simulator charging a kernel's
+inbound transfer and compute time) — is answered by one
+:class:`CostModel` object, built once per :class:`~repro.core.simulator.
+Simulator` from its configuration.
+
+Centralizing the model closes two historical leaks:
+
+* static plans used to budget transfer costs at the configured link rate
+  even when the simulator ran with ``transfers_enabled=False`` (the
+  Figure 5 mode), so plans optimized for costs the run then zeroed;
+* :meth:`~repro.policies.base.SchedulingContext.transfer_time` used to
+  ignore ``transfers_enabled`` entirely, so dynamic policies (APT's
+  ``exec + transfer ≤ α·x`` test) paid phantom transfers in
+  transfers-disabled runs.
+
+The model also memoizes the pure lookup-table queries (``exec_time``,
+``best_processor``) and the per-size average communication cost, which
+the simulator hot path and the static planners hit millions of times on
+large workloads.  Memoized answers are bit-identical to the uncached
+computation — caching is a speedup, never a semantic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.lookup import LookupTable
+from repro.core.system import ProcessorType, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.dfg import DFG
+
+#: Transfer-combination modes (mirrors the Simulator's contract).
+VALID_TRANSFER_MODES = ("single", "per_predecessor")
+
+
+class CostModel:
+    """Execution + transfer costs of kernel→processor assignments.
+
+    Parameters
+    ----------
+    system:
+        The hardware platform (processors and links).
+    lookup:
+        Execution-time table.
+    element_size:
+        Bytes per data element (transfer bytes = elements × size).
+    transfer_mode:
+        ``"single"``: one inbound transfer — the max over cross-processor
+        predecessors (the paper's ``d_jk`` model).  ``"per_predecessor"``:
+        transfers from distinct predecessors serialize (sum).
+    transfers_enabled:
+        When false, every transfer cost is exactly 0.0 — planning,
+        selection and execution all see the same zero.
+    """
+
+    __slots__ = (
+        "system",
+        "lookup",
+        "element_size",
+        "transfer_mode",
+        "transfers_enabled",
+        "_ptypes",
+        "_exec_memo",
+        "_best_memo",
+        "_avg_comm_memo",
+    )
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        lookup: LookupTable,
+        element_size: int = 4,
+        transfer_mode: str = "single",
+        transfers_enabled: bool = True,
+    ) -> None:
+        if transfer_mode not in VALID_TRANSFER_MODES:
+            raise ValueError(
+                f"transfer_mode must be one of {VALID_TRANSFER_MODES}, "
+                f"got {transfer_mode!r}"
+            )
+        if element_size <= 0:
+            raise ValueError("element_size must be positive")
+        self.system = system
+        self.lookup = lookup
+        self.element_size = int(element_size)
+        self.transfer_mode = transfer_mode
+        self.transfers_enabled = bool(transfers_enabled)
+        self._ptypes = system.processor_types()
+        self._exec_memo: dict[tuple[str, int, ProcessorType], float] = {}
+        self._best_memo: dict[tuple[str, int], tuple[ProcessorType, float]] = {}
+        self._avg_comm_memo: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # execution costs (lookup-table side, memoized)
+    # ------------------------------------------------------------------
+    def exec_time(self, kernel: str, data_size: int, ptype: ProcessorType) -> float:
+        """Lookup-table execution time of ``kernel`` at ``data_size`` on ``ptype``."""
+        key = (kernel, data_size, ptype)
+        t = self._exec_memo.get(key)
+        if t is None:
+            t = self.lookup.time(kernel, data_size, ptype)
+            self._exec_memo[key] = t
+        return t
+
+    def exec_time_on(self, kernel: str, data_size: int, processor: str) -> float:
+        """Execution time on a concrete processor (by name)."""
+        return self.exec_time(kernel, data_size, self.system[processor].ptype)
+
+    def best_processor(self, kernel: str, data_size: int) -> tuple[ProcessorType, float]:
+        """The system's p_min category for the kernel, and its time ``x``."""
+        key = (kernel, data_size)
+        best = self._best_memo.get(key)
+        if best is None:
+            best = self.lookup.best_processor(kernel, data_size, self._ptypes)
+            self._best_memo[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    # transfer costs
+    # ------------------------------------------------------------------
+    def data_bytes(self, data_size: int) -> int:
+        """Bytes moved for a kernel of ``data_size`` elements."""
+        return data_size * self.element_size
+
+    def transfer_time_ms(self, src: str, dst: str, nbytes: float) -> float:
+        """Link transfer time — exactly 0.0 when transfers are disabled."""
+        if not self.transfers_enabled:
+            return 0.0
+        return self.system.transfer_time_ms(src, dst, nbytes)
+
+    def combine_transfers(self, costs: list[float]) -> float:
+        """Fold per-predecessor transfer costs per ``transfer_mode``."""
+        if not costs:
+            return 0.0
+        return sum(costs) if self.transfer_mode == "per_predecessor" else max(costs)
+
+    def inbound_transfer(
+        self,
+        dfg: "DFG",
+        kernel_id: int,
+        target: str,
+        assignment_of: Mapping[int, str],
+        predecessors: list[int] | None = None,
+        nbytes: int | None = None,
+    ) -> float:
+        """Inbound transfer time if ``kernel_id`` ran on ``target``.
+
+        Predecessors not yet assigned (or assigned to ``target`` itself)
+        contribute nothing.  ``predecessors`` and ``nbytes`` may be passed
+        by callers holding precomputed adjacency/spec tables (hot path);
+        they must equal ``dfg.predecessors(kernel_id)`` and
+        ``data_bytes(dfg.spec(kernel_id).data_size)``.
+        """
+        if not self.transfers_enabled:
+            return 0.0
+        preds = predecessors if predecessors is not None else dfg.predecessors(kernel_id)
+        if not preds:
+            return 0.0
+        if nbytes is None:
+            nbytes = dfg.spec(kernel_id).data_size * self.element_size
+        costs = []
+        for pred in preds:
+            src = assignment_of.get(pred)
+            if src is None or src == target:
+                continue
+            c = self.system.transfer_time_ms(src, target, nbytes)
+            if c > 0.0:
+                costs.append(c)
+        return self.combine_transfers(costs)
+
+    def avg_comm(self, data_size: int) -> float:
+        """Average inbound-edge communication cost for a ``data_size`` kernel.
+
+        Averaged over all ordered processor pairs including the zero-cost
+        same-processor pairs — the standard HEFT convention for
+        :math:`\\bar c_{i,j}`.  Zero when transfers are disabled.
+        """
+        cached = self._avg_comm_memo.get(data_size)
+        if cached is None:
+            if not self.transfers_enabled:
+                cached = 0.0
+            else:
+                nbytes = data_size * self.element_size
+                procs = self.system.processors
+                total = sum(
+                    self.system.transfer_time_ms(a.name, b.name, nbytes)
+                    for a in procs
+                    for b in procs
+                )
+                cached = total / (len(procs) ** 2)
+            self._avg_comm_memo[data_size] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def signature(self) -> dict[str, object]:
+        """The JSON-safe knob set identifying this model's cost semantics.
+
+        System and lookup contents are deliberately excluded — callers
+        (e.g. the sweep cache key) hash those separately.
+        """
+        return {
+            "element_size": self.element_size,
+            "transfer_mode": self.transfer_mode,
+            "transfers_enabled": self.transfers_enabled,
+        }
+
+    @classmethod
+    def ensure(
+        cls,
+        system: SystemConfig,
+        lookup: "LookupTable | CostModel",
+        element_size: int = 4,
+        transfer_mode: str = "single",
+        transfers_enabled: bool = True,
+    ) -> "CostModel":
+        """Normalize a LookupTable-or-CostModel argument to a CostModel.
+
+        Lets utilities like :func:`~repro.policies.heft.upward_rank` keep
+        accepting a bare lookup table (transfers at face value) while the
+        simulator passes its fully-configured model.  A passed model must
+        be built over the same ``system`` — silently answering for a
+        different platform would be a miscomputation, not a convenience.
+        """
+        if isinstance(lookup, CostModel):
+            if lookup.system is not system:
+                raise ValueError(
+                    "CostModel was built over a different SystemConfig than "
+                    "the one passed alongside it"
+                )
+            return lookup
+        return cls(
+            system,
+            lookup,
+            element_size=element_size,
+            transfer_mode=transfer_mode,
+            transfers_enabled=transfers_enabled,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostModel(element_size={self.element_size}, "
+            f"transfer_mode={self.transfer_mode!r}, "
+            f"transfers_enabled={self.transfers_enabled})"
+        )

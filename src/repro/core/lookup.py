@@ -77,9 +77,16 @@ class LookupTable:
                 )
             series[e.data_size] = e.time_ms
         self._series: dict[tuple[str, ProcessorType], tuple[list[int], list[float]]] = {}
+        # Exact-measurement index: (kernel, ptype, size) → time.  The
+        # simulator hot path queries measured points millions of times on
+        # large workloads; this skips the per-query bisect entirely.
+        self._exact: dict[tuple[str, ProcessorType, int], float] = {}
         for key, points in staging.items():
             sizes = sorted(points)
             self._series[key] = (sizes, [points[s] for s in sizes])
+            kernel, ptype = key
+            for s in sizes:
+                self._exact[(kernel, ptype, s)] = points[s]
         self._kernels = tuple(sorted({k for k, _ in self._series}))
         self._ptypes = tuple(sorted({p for _, p in self._series}, key=lambda p: p.value))
 
@@ -184,6 +191,9 @@ class LookupTable:
         Exact measurements are returned as-is; other sizes are interpolated
         (see class docstring) when interpolation is enabled.
         """
+        exact = self._exact.get((kernel, ptype, data_size))
+        if exact is not None:
+            return exact
         series = self._series.get((kernel, ptype))
         if series is None:
             raise KernelNotFoundError(

@@ -101,14 +101,19 @@ class Schedule:
 
     def __init__(self, entries: Iterable[ScheduleEntry] = ()) -> None:
         self._entries: list[ScheduleEntry] = list(entries)
-        ids = [e.kernel_id for e in self._entries]
-        if len(set(ids)) != len(ids):
-            raise ValueError("duplicate kernel ids in schedule")
+        # id → entry index; also the duplicate guard.  Kept in sync by
+        # add() so lookups stay O(1) on million-kernel schedules.
+        self._by_id: dict[int, ScheduleEntry] = {}
+        for e in self._entries:
+            if e.kernel_id in self._by_id:
+                raise ValueError("duplicate kernel ids in schedule")
+            self._by_id[e.kernel_id] = e
 
     def add(self, entry: ScheduleEntry) -> None:
-        if any(e.kernel_id == entry.kernel_id for e in self._entries):
+        if entry.kernel_id in self._by_id:
             raise ValueError(f"kernel {entry.kernel_id} already scheduled")
         self._entries.append(entry)
+        self._by_id[entry.kernel_id] = entry
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -117,13 +122,13 @@ class Schedule:
         return iter(self._entries)
 
     def __getitem__(self, kernel_id: int) -> ScheduleEntry:
-        for e in self._entries:
-            if e.kernel_id == kernel_id:
-                return e
-        raise KeyError(f"kernel {kernel_id} not in schedule")
+        try:
+            return self._by_id[kernel_id]
+        except KeyError:
+            raise KeyError(f"kernel {kernel_id} not in schedule") from None
 
     def __contains__(self, kernel_id: int) -> bool:
-        return any(e.kernel_id == kernel_id for e in self._entries)
+        return kernel_id in self._by_id
 
     @property
     def makespan(self) -> float:

@@ -21,6 +21,31 @@ Execution model
   after each round of assignments, until no further assignment is made —
   so a policy always sees the maximal ready set and the true idle set.
 
+All costs — execution lookups, transfer times, the ``transfers_enabled``
+switch — live in one :class:`~repro.core.cost.CostModel` built from the
+simulator's configuration and threaded through static planning
+(:meth:`~repro.policies.base.StaticPolicy.plan`), dynamic selection
+(:attr:`~repro.policies.base.SchedulingContext.cost`) and execution, so
+every layer prices an assignment identically.
+
+The inner loop is *incremental*, built for million-kernel streams and
+many-processor systems:
+
+* :class:`~repro.policies.base.ProcessorView` objects are rebuilt only
+  for processors whose state actually changed, instead of all views on
+  every policy invocation;
+* the ready queue is an order-preserving set with O(1) membership and
+  removal;
+* per-kernel lookup queries (``best_processor_type``, ``exec_time``) are
+  memoized in the cost model across policy invocations;
+* a policy whose last answer was empty is not re-invoked until something
+  it can observe has changed (see :attr:`~repro.policies.base.Policy.
+  time_sensitive`).
+
+``repro.core.reference.ReferenceSimulator`` keeps the straightforward
+rebuild-everything loop; ``tests/test_simulator_equivalence.py`` asserts
+the two produce bit-for-bit identical schedules.
+
 Determinism: given the same DFG, system, lookup table and policy
 configuration, a run is bit-for-bit reproducible.
 """
@@ -29,8 +54,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque
+from typing import Deque, Iterator
 
+from repro.core.cost import VALID_TRANSFER_MODES, CostModel
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.lookup import LookupTable
 from repro.core.metrics import SimulationMetrics, compute_metrics
@@ -48,7 +74,7 @@ from repro.policies.base import (
     StaticPolicy,
 )
 
-_VALID_TRANSFER_MODES = ("single", "per_predecessor")
+_VALID_TRANSFER_MODES = VALID_TRANSFER_MODES  # re-export (back-compat)
 
 
 class SchedulingError(RuntimeError):
@@ -65,6 +91,42 @@ class _ProcState:
 
     def busy(self, now: float) -> bool:
         return self.running is not None and self.free_at > now + 1e-12
+
+
+class _ReadyQueue:
+    """Order-preserving ready set: O(1) membership, add and removal.
+
+    Iteration order is insertion order — the FCFS discipline the list
+    implementation provided, without its O(n) ``remove``.
+    """
+
+    __slots__ = ("_d", "_tuple")
+
+    def __init__(self, items: "list[int] | tuple[int, ...]" = ()) -> None:
+        self._d: dict[int, None] = dict.fromkeys(items)
+        self._tuple: tuple[int, ...] | None = None
+
+    def add(self, kid: int) -> None:
+        self._d[kid] = None
+        self._tuple = None
+
+    def remove(self, kid: int) -> None:
+        del self._d[kid]
+        self._tuple = None
+
+    def __contains__(self, kid: int) -> bool:
+        return kid in self._d
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._d)
+
+    def as_tuple(self) -> tuple[int, ...]:
+        if self._tuple is None:
+            self._tuple = tuple(self._d)
+        return self._tuple
 
 
 @dataclass(frozen=True)
@@ -111,7 +173,9 @@ class Simulator:
     transfers_enabled:
         Set false to zero all transfer times (the Figure 5 example does
         this: "to simplify the example, we do not consider transfer
-        times").
+        times").  The zero applies *everywhere*: static planning, dynamic
+        policies' transfer estimates and execution all consult the same
+        :class:`~repro.core.cost.CostModel`.
     collect_trace:
         Record a :class:`~repro.core.trace.StateTrace` of the run.
     exec_noise_sigma:
@@ -136,17 +200,19 @@ class Simulator:
         exec_noise_sigma: float = 0.0,
         noise_seed: int = 0,
     ) -> None:
-        if transfer_mode not in _VALID_TRANSFER_MODES:
-            raise ValueError(
-                f"transfer_mode must be one of {_VALID_TRANSFER_MODES}, got {transfer_mode!r}"
-            )
-        if element_size <= 0:
-            raise ValueError("element_size must be positive")
         if exec_noise_sigma < 0:
             raise ValueError("exec_noise_sigma must be >= 0")
+        # CostModel validates transfer_mode and element_size.
+        self.cost = CostModel(
+            system,
+            lookup,
+            element_size=element_size,
+            transfer_mode=transfer_mode,
+            transfers_enabled=transfers_enabled,
+        )
         self.system = system
         self.lookup = lookup
-        self.element_size = int(element_size)
+        self.element_size = self.cost.element_size
         self.transfer_mode = transfer_mode
         self.transfers_enabled = transfers_enabled
         self.collect_trace = collect_trace
@@ -194,19 +260,32 @@ class Simulator:
 
         driver: DynamicPolicy
         if isinstance(policy, StaticPolicy):
-            plan = policy.plan(
-                dfg,
-                self.system,
-                self.lookup,
-                element_size=self.element_size,
-                transfer_mode=self.transfer_mode if self.transfers_enabled else "single",
-            )
+            # The plan prices assignments with the run's own cost model —
+            # in particular, zero transfer costs when transfers are
+            # disabled (this used to leak face-value transfer budgets into
+            # transfers-disabled plans).
+            plan = policy.plan(dfg, self.cost)
             plan.validate(dfg, self.system)
             driver = _PlanDispatcher(plan)
         else:
             driver = policy
 
         return self._simulate(dfg, policy, driver, arrivals or {})
+
+    # ------------------------------------------------------------------
+    def _noise_factors(self, dfg: DFG) -> dict[int, float]:
+        """Per-kernel noise factors drawn up-front (id-indexed) so they do
+        not depend on the policy's execution order — every policy faces
+        the *same* perturbed reality."""
+        if self.exec_noise_sigma <= 0.0:
+            return {}
+        import numpy as _np
+
+        noise_rng = _np.random.default_rng(self.noise_seed)
+        return {
+            k: float(_np.exp(noise_rng.normal(0.0, self.exec_noise_sigma)))
+            for k in dfg.kernel_ids()
+        }
 
     # ------------------------------------------------------------------
     def _simulate(
@@ -216,19 +295,26 @@ class Simulator:
         driver: DynamicPolicy,
         arrivals: dict[int, float],
     ) -> SimulationResult:
-        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in self.system}
-        arrival_of = {k: arrivals.get(k, 0.0) for k in dfg.kernel_ids()}
+        system = self.system
+        cost = self.cost
+        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in system}
+        proc_index = {p.name: i for i, p in enumerate(system)}
+        kernel_ids = dfg.kernel_ids()
+        # Adjacency and specs precomputed once — dfg.predecessors() /
+        # .successors() sort per call, far too hot for the inner loop.
+        specs = {k: dfg.spec(k) for k in kernel_ids}
+        preds_of = {k: dfg.predecessors(k) for k in kernel_ids}
+        succs_of = {k: dfg.successors(k) for k in kernel_ids}
+        arrival_of = {k: arrivals.get(k, 0.0) for k in kernel_ids}
         # FCFS ready queue: kernels arrived and with all dependencies done.
-        ready: list[int] = [k for k in dfg.entry_kernels() if arrival_of[k] == 0.0]
+        ready = _ReadyQueue([k for k in dfg.entry_kernels() if arrival_of[k] == 0.0])
         ready_time: dict[int, float] = {k: 0.0 for k in ready}
         assign_time: dict[int, float] = {}
         is_alternative: dict[int, bool] = {}
         assignment_of: dict[int, str] = {}
         completed: set[int] = set()
-        remaining_preds: dict[int, int] = {
-            k: len(dfg.predecessors(k)) for k in dfg.kernel_ids()
-        }
-        exec_history: dict[str, list[float]] = {p.name: [] for p in self.system}
+        remaining_preds: dict[int, int] = {k: len(preds_of[k]) for k in kernel_ids}
+        exec_history: dict[str, list[float]] = {p.name: [] for p in system}
         events = EventQueue()
         schedule = Schedule()
         now = 0.0
@@ -237,58 +323,56 @@ class Simulator:
         for kid, t in arrival_of.items():
             if t > 0.0:
                 events.push(Event(t, EventKind.KERNEL_READY, payload=(kid, None)))
-        # Per-kernel noise factors drawn up-front (id-indexed) so they do
-        # not depend on the policy's execution order — every policy faces
-        # the *same* perturbed reality.
-        if self.exec_noise_sigma > 0.0:
-            import numpy as _np
+        noise = self._noise_factors(dfg)
 
-            noise_rng = _np.random.default_rng(self.noise_seed)
-            noise = {
-                k: float(_np.exp(noise_rng.normal(0.0, self.exec_noise_sigma)))
-                for k in dfg.kernel_ids()
-            }
-        else:
-            noise = {}
+        # Incrementally-maintained processor views: the live dict handed to
+        # every context.  A view is rebuilt only when its processor's state
+        # changes (``refresh_view`` on each mutation) or when the clock
+        # advances past its free_at clamp — not on every policy invocation.
+        views: dict[str, ProcessorView] = {}
 
-        def make_context() -> SchedulingContext:
-            views = {
-                name: ProcessorView(
-                    processor=self.system[name],
-                    busy=st.running is not None,
-                    free_at=max(now, st.free_at),
-                    queue_length=len(st.queue),
-                    running_kernel=st.running,
-                )
-                for name, st in procs.items()
-            }
-            return SchedulingContext(
-                time=now,
-                ready=tuple(ready),
-                dfg=dfg,
-                system=self.system,
-                lookup=self.lookup,
-                views=views,
-                assignment_of=assignment_of,
-                completed=frozenset(completed),
-                element_size=self.element_size,
-                transfer_mode=self.transfer_mode,
-                exec_history=exec_history,
+        def refresh_view(name: str) -> None:
+            st = procs[name]
+            views[name] = ProcessorView(
+                processor=system[name],
+                busy=st.running is not None,
+                free_at=st.free_at if st.free_at > now else now,
+                queue_length=len(st.queue),
+                running_kernel=st.running,
             )
 
-        def inbound_transfer(kid: int, target: str) -> float:
-            if not self.transfers_enabled:
-                return 0.0
-            nbytes = dfg.spec(kid).data_size * self.element_size
-            costs = [
-                self.system.transfer_time_ms(assignment_of[pred], target, nbytes)
-                for pred in dfg.predecessors(kid)
-                if assignment_of.get(pred) not in (None, target)
-            ]
-            costs = [c for c in costs if c > 0.0]
-            if not costs:
-                return 0.0
-            return sum(costs) if self.transfer_mode == "per_predecessor" else max(costs)
+        for name in procs:
+            refresh_view(name)
+
+        # Incremental re-invocation guard: ``state_version`` bumps on every
+        # mutation a policy could observe (ready set, processor states,
+        # completions, exec history).  An empty answer is remembered and the
+        # policy is not re-asked until the version moves — or, for
+        # time-sensitive policies, the clock does.
+        state_version = 0
+        time_sensitive = bool(getattr(driver, "time_sensitive", True))
+        last_empty: tuple[int, float | None] | None = None
+
+        # Run-level memo of SchedulingContext.transfer_time answers for
+        # kernels whose predecessors all completed (then final forever).
+        transfer_memo: dict[tuple[int, str], float] = {}
+
+        def make_context() -> SchedulingContext:
+            # Live references throughout — nothing is copied per invocation.
+            return SchedulingContext(
+                time=now,
+                ready=ready.as_tuple(),
+                dfg=dfg,
+                system=system,
+                views=views,
+                assignment_of=assignment_of,
+                completed=completed,
+                exec_history=exec_history,
+                cost=cost,
+                predecessors_of=preds_of,
+                specs_of=specs,
+                transfer_memo=transfer_memo,
+            )
 
         def start_if_possible(name: str) -> bool:
             """Pop the processor's queue head and start it, if idle."""
@@ -296,16 +380,17 @@ class Simulator:
             if st.running is not None or not st.queue:
                 return False
             kid, alternative = st.queue.popleft()
-            spec = dfg.spec(kid)
-            transfer = inbound_transfer(kid, name)
-            exec_time = self.lookup.time(
-                spec.kernel, spec.data_size, self.system[name].ptype
+            spec = specs[kid]
+            transfer = cost.inbound_transfer(dfg, kid, name, assignment_of, preds_of[kid])
+            exec_time = cost.exec_time(
+                spec.kernel, spec.data_size, system[name].ptype
             ) * noise.get(kid, 1.0)
             transfer_start = now
             exec_start = now + transfer
             finish = exec_start + exec_time
             st.running = kid
             st.free_at = finish
+            refresh_view(name)
             exec_history[name].append(exec_time)
             schedule.add(
                 ScheduleEntry(
@@ -313,7 +398,7 @@ class Simulator:
                     kernel=spec.kernel,
                     data_size=spec.data_size,
                     processor=name,
-                    ptype=self.system[name].ptype.value,
+                    ptype=system[name].ptype.value,
                     ready_time=ready_time[kid],
                     assign_time=assign_time[kid],
                     transfer_start=transfer_start,
@@ -327,7 +412,9 @@ class Simulator:
             return True
 
         def apply_assignments(assignments: list[Assignment]) -> bool:
+            nonlocal state_version
             progress = False
+            touched: set[str] = set()
             for a in assignments:
                 if a.kernel_id not in ready:
                     raise SchedulingError(
@@ -348,18 +435,33 @@ class Simulator:
                 assign_time[a.kernel_id] = now
                 is_alternative[a.kernel_id] = a.alternative
                 st.queue.append((a.kernel_id, a.alternative))
+                refresh_view(a.processor)
+                touched.add(a.processor)
                 progress = True
-            for name in procs:
-                if start_if_possible(name):
-                    progress = True
+            if touched:
+                state_version += 1
+                # Start in system declaration order — start order decides
+                # event insertion order, which breaks completion-time ties.
+                for name in sorted(touched, key=proc_index.__getitem__):
+                    if start_if_possible(name):
+                        progress = True
             return progress
 
         # main loop -----------------------------------------------------
         while len(completed) < n_kernels:
             # assignment fixpoint at the current instant
             for _ in range(n_kernels * len(procs) + 2):
-                assignments = driver.select(make_context()) if ready else []
-                if not apply_assignments(list(assignments)):
+                if ready:
+                    sig = (state_version, now if time_sensitive else None)
+                    if last_empty == sig:
+                        assignments = []
+                    else:
+                        assignments = list(driver.select(make_context()))
+                        if not assignments:
+                            last_empty = sig
+                else:
+                    assignments = []
+                if not apply_assignments(assignments):
                     break
             else:  # pragma: no cover - defensive
                 raise SchedulingError(
@@ -370,10 +472,17 @@ class Simulator:
                 raise SchedulingError(
                     f"{policy.name}: deadlock at t={now} — "
                     f"{n_kernels - len(completed)} kernels unfinished, no events pending "
-                    f"(ready={ready})"
+                    f"(ready={list(ready)})"
                 )
 
-            for ev in events.pop_simultaneous():
+            batch = events.pop_simultaneous()
+            if batch[0].time != now:
+                now = batch[0].time
+                # clock moved: idle processors' free_at clamps to the new now
+                for vname, view in views.items():
+                    if view.free_at < now:
+                        refresh_view(vname)
+            for ev in batch:
                 now = ev.time
                 kid, name = ev.payload
                 if ev.kind is EventKind.KERNEL_READY:
@@ -381,7 +490,8 @@ class Simulator:
                     arrived.add(kid)
                     if remaining_preds[kid] == 0:
                         ready_time[kid] = now
-                        ready.append(kid)
+                        ready.add(kid)
+                        state_version += 1
                     continue
                 st = procs[name]
                 if st.running != kid:  # pragma: no cover - defensive
@@ -390,12 +500,14 @@ class Simulator:
                         f"but {st.running} is running"
                     )
                 st.running = None
+                refresh_view(name)
                 completed.add(kid)
-                for succ in dfg.successors(kid):
+                state_version += 1
+                for succ in succs_of[kid]:
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0 and succ in arrived:
                         ready_time[succ] = now
-                        ready.append(succ)
+                        ready.add(succ)
                 # a queued kernel may start immediately on the freed processor
                 start_if_possible(name)
 
@@ -424,6 +536,7 @@ class _PlanDispatcher(DynamicPolicy):
     """
 
     name = "_plan"
+    time_sensitive = False
 
     def __init__(self, plan: StaticPlan) -> None:
         self._plan = plan
@@ -433,10 +546,11 @@ class _PlanDispatcher(DynamicPolicy):
             self._order.setdefault(proc, []).append(kid)
         for proc in self._order:
             self._order[proc].sort(key=lambda k: plan.priority[k])
-        self._dispatched: set[int] = set()
+        # per-processor cursor into _order: everything before it dispatched.
+        self._cursor: dict[str, int] = {proc: 0 for proc in self._order}
 
     def reset(self) -> None:
-        self._dispatched = set()
+        self._cursor = {proc: 0 for proc in self._order}
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []
@@ -445,9 +559,8 @@ class _PlanDispatcher(DynamicPolicy):
             view = ctx.views[proc_name]
             if not view.idle:
                 continue
-            pending = [k for k in order if k not in self._dispatched]
-            if pending and pending[0] in ready:
-                kid = pending[0]
-                self._dispatched.add(kid)
-                out.append(Assignment(kernel_id=kid, processor=proc_name))
+            i = self._cursor[proc_name]
+            if i < len(order) and order[i] in ready:
+                self._cursor[proc_name] = i + 1
+                out.append(Assignment(kernel_id=order[i], processor=proc_name))
         return out

@@ -119,6 +119,32 @@ class SystemConfig:
             if rate <= 0:
                 raise ValueError(f"link rate must be positive for {(a, b)}")
             self._overrides[(a, b)] = float(rate)
+        # Immutable after construction, so category queries can be
+        # precomputed — of_type() sits in policy hot paths (APT's
+        # findBestProc runs once per ready kernel per invocation).
+        self._of_type: dict[ProcessorType, tuple[Processor, ...]] = {}
+        for p in self._processors:
+            self._of_type.setdefault(p.ptype, ())
+        for ptype in self._of_type:
+            self._of_type[ptype] = tuple(
+                p for p in self._processors if p.ptype == ptype
+            )
+        self._ptype_order = tuple(self._of_type)
+        # transfer_time_ms is the hottest query in the simulator (policies
+        # price every candidate assignment) — precompute the effective
+        # bytes-per-ms divisor for every ordered pair so the query is one
+        # dict hit and one division, with bit-identical arithmetic to
+        # Link.transfer_time_ms.
+        self._rate_divisor: dict[tuple[str, str], float] = {}
+        for a in self._processors:
+            for b in self._processors:
+                if a.name == b.name:
+                    continue
+                rate = self._overrides.get(
+                    (a.name, b.name),
+                    self._overrides.get((b.name, a.name), self._default_rate),
+                )
+                self._rate_divisor[(a.name, b.name)] = rate * 1e6
 
     # ------------------------------------------------------------------
     # introspection
@@ -151,14 +177,11 @@ class SystemConfig:
 
     def processor_types(self) -> tuple[ProcessorType, ...]:
         """Distinct processor types present, in first-appearance order."""
-        seen: dict[ProcessorType, None] = {}
-        for p in self._processors:
-            seen.setdefault(p.ptype, None)
-        return tuple(seen)
+        return self._ptype_order
 
     def of_type(self, ptype: ProcessorType) -> tuple[Processor, ...]:
         """All processors of the given category."""
-        return tuple(p for p in self._processors if p.ptype == ptype)
+        return self._of_type.get(ptype, ())
 
     # ------------------------------------------------------------------
     # interconnect
@@ -180,7 +203,10 @@ class SystemConfig:
         """
         if src == dst:
             return 0.0
-        return self.link(src, dst).transfer_time_ms(nbytes)
+        divisor = self._rate_divisor.get((src, dst))
+        if divisor is None:
+            raise KeyError(f"unknown processor in link query: {(src, dst)}")
+        return nbytes / divisor
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

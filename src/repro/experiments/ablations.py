@@ -44,20 +44,7 @@ class APTLongestFirst(APT):
         reordered = sorted(
             ctx.ready, key=lambda kid: (-ctx.best_processor_type(kid)[1], kid)
         )
-        ctx = SchedulingContext(
-            time=ctx.time,
-            ready=reordered,
-            dfg=ctx.dfg,
-            system=ctx.system,
-            lookup=ctx.lookup,
-            views=ctx.views,
-            assignment_of=ctx.assignment_of,
-            completed=ctx.completed,
-            element_size=ctx.element_size,
-            transfer_mode=ctx.transfer_mode,
-            exec_history=ctx.exec_history,
-        )
-        return super().select(ctx)
+        return super().select(ctx.with_ready(reordered))
 
 
 if "apt_longest_first" not in available_policies():  # idempotent on re-import

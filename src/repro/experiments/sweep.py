@@ -57,7 +57,11 @@ from repro.policies.registry import get_policy
 
 #: Bumped whenever the job payload or result layout changes; part of the
 #: content hash, so stale cache entries are never misread.
-SWEEP_FORMAT_VERSION = 1
+#: v2: the cost-model knobs (element_size / transfer_mode /
+#: transfers_enabled) moved into a dedicated ``cost_model`` payload
+#: section, mirroring :class:`repro.core.cost.CostModel.signature` — the
+#: cache key now names the cost model explicitly.
+SWEEP_FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -65,7 +69,13 @@ SWEEP_FORMAT_VERSION = 1
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SimSettings:
-    """Simulator knobs that affect results (all part of the job hash)."""
+    """Simulator knobs that affect results (all part of the job hash).
+
+    The first three fields are the :class:`repro.core.cost.CostModel`
+    knobs; they enter the payload as its own ``cost_model`` section (see
+    :meth:`cost_model_dict`) so the cache key names the cost model that
+    priced the run.
+    """
 
     element_size: int = 4
     transfer_mode: str = "single"
@@ -73,14 +83,23 @@ class SimSettings:
     exec_noise_sigma: float = 0.0
     noise_seed: int = 0
 
-    def to_dict(self) -> dict[str, object]:
+    def cost_model_dict(self) -> dict[str, object]:
+        """The cost-model signature (matches ``CostModel.signature()``)."""
         return {
             "element_size": self.element_size,
             "transfer_mode": self.transfer_mode,
             "transfers_enabled": self.transfers_enabled,
+        }
+
+    def noise_dict(self) -> dict[str, object]:
+        """The execution-noise knobs (everything outside the cost model)."""
+        return {
             "exec_noise_sigma": self.exec_noise_sigma,
             "noise_seed": self.noise_seed,
         }
+
+    def to_dict(self) -> dict[str, object]:
+        return {**self.cost_model_dict(), **self.noise_dict()}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SimSettings":
@@ -225,7 +244,8 @@ class SweepJob:
             "lookup": self.lookup,
             "lookup_interpolate": self.lookup_interpolate,
             "policy": self.policy.to_dict(),
-            "settings": self.settings.to_dict(),
+            "cost_model": self.settings.cost_model_dict(),
+            "settings": self.settings.noise_dict(),
             "arrivals": (
                 {str(k): float(v) for k, v in sorted(self.arrivals.items())}
                 if self.arrivals
@@ -406,7 +426,9 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
     policy_spec = PolicySpec.from_dict(
         payload["policy"], provider=str(provider) if provider else None  # type: ignore[arg-type]
     )
-    settings = SimSettings.from_dict(payload["settings"])  # type: ignore[arg-type]
+    settings = SimSettings.from_dict(
+        {**payload["cost_model"], **payload["settings"]}  # type: ignore[dict-item]
+    )
     power_model = power_model_from_dict(payload["power_model"])  # type: ignore[arg-type]
     raw_arrivals = payload.get("arrivals") or {}
     arrivals = {int(k): float(v) for k, v in raw_arrivals.items()}  # type: ignore[union-attr]

@@ -12,14 +12,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.system import CPU_GPU_FPGA, SystemConfig
 from repro.data.paper_tables import PAPER_GRAPH_SIZES
 from repro.graphs.dfg import DFG
 from repro.graphs.generators import (
     PAPER_KERNEL_POPULATION,
     KernelPopulation,
+    make_fork_join_dfg,
+    make_pipeline_dfg,
     make_type1_dfg,
     make_type2_dfg,
 )
+from repro.graphs.streams import ApplicationStream, poisson_stream
 
 #: Year of the paper — the suite's default base seed.
 DEFAULT_SEED = 2017
@@ -71,3 +75,91 @@ def paper_suite(dfg_type: int, seed: int = DEFAULT_SEED) -> list[DFG]:
     if dfg_type == 2:
         return paper_type2_suite(seed)
     raise ValueError(f"dfg_type must be 1 or 2, got {dfg_type}")
+
+
+# ----------------------------------------------------------------------
+# scale scenarios (beyond the paper's 10-graph suites)
+# ----------------------------------------------------------------------
+
+
+def scale_system(
+    n_cpu: int = 4,
+    n_gpu: int = 4,
+    n_fpga: int = 4,
+    transfer_rate_gbps: float = 8.0,
+) -> SystemConfig:
+    """A many-processor platform (default 12 devices: 4×CPU+4×GPU+4×FPGA).
+
+    The paper's evaluation uses one device per category; this is the
+    many-GPU / many-FPGA configuration the scale scenarios (and the
+    ``lumos``-style heterogeneous-system models in the related work)
+    target.  Uniform links, PCIe 2.0 ×16 by default.
+    """
+    return CPU_GPU_FPGA(
+        transfer_rate_gbps=transfer_rate_gbps,
+        n_cpu=n_cpu,
+        n_gpu=n_gpu,
+        n_fpga=n_fpga,
+    )
+
+
+def streaming_scale_stream(
+    n_kernels: int = 10_000,
+    seed: int = DEFAULT_SEED,
+    mean_interarrival_ms: float = 3000.0,
+    population: KernelPopulation = PAPER_KERNEL_POPULATION,
+) -> ApplicationStream:
+    """A Poisson stream of small applications totalling ≈ ``n_kernels``.
+
+    Applications alternate between the paper's Type-1 shape, small
+    fork-joins and short pipelines (8–16 kernels each), arriving with
+    exponential gaps — the online regime the paper frames but does not
+    evaluate.  Deterministic for a fixed seed.
+
+    The default inter-arrival mean (3 s for ~12-kernel applications
+    of Table 14 kernels) keeps a 12-processor system loaded but not
+    unboundedly backlogged, so the ready set stays realistic for a
+    service deployment rather than growing without limit.
+    """
+    if n_kernels < 8:
+        raise ValueError("a scale stream needs at least 8 kernels")
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    total = 0
+    while total < n_kernels:
+        n = int(rng.integers(8, 17))
+        sizes.append(n)
+        total += n
+
+    def factory(i: int, rng: np.random.Generator) -> DFG:
+        n = sizes[i]
+        shape = i % 3
+        if shape == 0:
+            return make_type1_dfg(n, rng=rng, population=population, name=f"app{i}_t1")
+        if shape == 1:
+            return make_fork_join_dfg(
+                n - 2, rng=rng, population=population, name=f"app{i}_fj"
+            )
+        return make_pipeline_dfg(
+            n, rng=rng, population=population, stage_width=4, name=f"app{i}_pipe"
+        )
+
+    return poisson_stream(len(sizes), mean_interarrival_ms, factory, rng)
+
+
+def streaming_scale_workload(
+    n_kernels: int = 10_000,
+    seed: int = DEFAULT_SEED,
+    mean_interarrival_ms: float = 3000.0,
+    population: KernelPopulation = PAPER_KERNEL_POPULATION,
+) -> tuple[DFG, dict[int, float]]:
+    """The merged (DFG, arrivals) form of :func:`streaming_scale_stream`.
+
+    Ready for ``Simulator.run(dfg, policy, arrivals=arrivals)``; the
+    benchmark scenario of ``benchmarks/test_bench_simulator_scale.py``
+    pairs it with :func:`scale_system`.
+    """
+    stream = streaming_scale_stream(
+        n_kernels, seed, mean_interarrival_ms, population
+    )
+    return stream.merged(name=f"scale_stream_n{stream.n_kernels}_s{seed}")

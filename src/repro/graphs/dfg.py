@@ -83,6 +83,26 @@ class DFG:
             self._g.remove_edge(src, dst)
             raise ValueError(f"edge {(src, dst)} would create a cycle")
 
+    def add_dependencies(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Bulk edge insertion with a single acyclicity check.
+
+        Per-edge :meth:`add_dependency` re-runs an O(V+E) cycle check per
+        edge, which is quadratic for the 10k-kernel scale workloads; this
+        checks once for the whole batch and rolls the batch back on
+        failure.
+        """
+        batch = [(src, dst) for src, dst in edges]
+        for src, dst in batch:
+            if src not in self._g or dst not in self._g:
+                raise KeyError(f"both endpoints must exist: {(src, dst)}")
+            if src == dst:
+                raise ValueError(f"self-dependency on kernel {src}")
+        fresh = [e for e in batch if not self._g.has_edge(*e)]
+        self._g.add_edges_from(fresh)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edges_from(fresh)
+            raise ValueError("edge batch would create a cycle")
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -245,6 +245,46 @@ def make_fork_join_dfg(
     return dfg
 
 
+def make_pipeline_dfg(
+    n_kernels: int,
+    rng: np.random.Generator | None = None,
+    population: KernelPopulation = PAPER_KERNEL_POPULATION,
+    specs: list[KernelSpec] | None = None,
+    stage_width: int = 8,
+    name: str | None = None,
+) -> DFG:
+    """A streaming pipeline: chained fork-join stages of ``stage_width``.
+
+    Stage *s* is ``stage_width`` independent kernels that all depend on
+    every kernel of stage *s − 1* (the classic frame/batch pipeline: a
+    batch fans out, synchronizes, and feeds the next batch).  The last
+    stage takes the remainder when ``n_kernels`` is not a multiple of the
+    width.
+
+    This is the scale-scenario shape: parallelism (and therefore the
+    simulator's ready set) stays bounded by ``stage_width`` no matter how
+    large ``n_kernels`` grows, so 10k-kernel streams exercise the *length*
+    of a run rather than one enormous ready front — the regime the
+    incremental simulator hot path is built for.
+    """
+    if n_kernels < 1:
+        raise ValueError("need at least 1 kernel")
+    if stage_width < 1:
+        raise ValueError("stage_width must be >= 1")
+    all_specs = _resolve_specs(n_kernels, rng, population, specs)
+    dfg = DFG(name or f"pipeline_n{n_kernels}_w{stage_width}")
+    for spec in all_specs:
+        dfg.add_kernel(spec)
+    edges: list[tuple[int, int]] = []
+    prev_stage: list[int] = []
+    for start in range(0, n_kernels, stage_width):
+        stage = list(range(start, min(start + stage_width, n_kernels)))
+        edges.extend((pred, kid) for kid in stage for pred in prev_stage)
+        prev_stage = stage
+    dfg.add_dependencies(edges)
+    return dfg
+
+
 def make_layered_dfg(
     n_kernels: int,
     n_layers: int,

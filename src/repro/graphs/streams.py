@@ -77,8 +77,11 @@ class ApplicationStream:
                 new_id = merged.add_kernel(app.dfg.spec(kid), kid=offset + len(id_map))
                 id_map[kid] = new_id
                 arrivals[new_id] = app.arrival_ms
-            for u, v in app.dfg.edges():
-                merged.add_dependency(id_map[u], id_map[v])
+            # bulk insertion: one cycle check per application, not per edge
+            # (per-edge checks are quadratic on 10k-kernel streams).
+            merged.add_dependencies(
+                (id_map[u], id_map[v]) for u, v in app.dfg.edges()
+            )
             offset += len(app.dfg)
         return merged, arrivals
 

@@ -41,6 +41,7 @@ class APT(DynamicPolicy):
     """
 
     name = "apt"
+    time_sensitive = False
 
     def __init__(self, alpha: float = 4.0, include_transfer: bool = True) -> None:
         if alpha < 1.0:
@@ -63,36 +64,47 @@ class APT(DynamicPolicy):
     # ------------------------------------------------------------------
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []
-        # Processors consumed by assignments made earlier in this call.
-        taken: set[str] = set()
-
-        def idle(name: str) -> bool:
-            return ctx.views[name].idle and name not in taken
+        # Available = idle and not consumed by an assignment made earlier
+        # in this call.  An insertion-ordered dict keeps the scan in
+        # system declaration order — the same tie-break the per-kernel
+        # view checks produced — at O(available) instead of O(P) probes.
+        avail: dict[str, None] = {
+            p.name: None for p in ctx.system if ctx.views[p.name].idle
+        }
+        ptype_of = {p.name: p.ptype for p in ctx.system}
 
         for kid in ctx.ready:
+            if not avail:
+                # No processor can accept work: neither a p_min nor an
+                # alternative exists for any remaining kernel.
+                break
             best_ptype, x = ctx.best_processor_type(kid)
             # findBestProc: an available instance of the best category.
             p_min = next(
-                (p.name for p in ctx.system.of_type(best_ptype) if idle(p.name)), None
+                (p.name for p in ctx.system.of_type(best_ptype) if p.name in avail),
+                None,
             )
             if p_min is not None:
-                taken.add(p_min)
+                del avail[p_min]
                 out.append(Assignment(kernel_id=kid, processor=p_min))
                 continue
             # find2ndBestProc: cheapest available processor within threshold.
             threshold = self.alpha * x
+            # Inbound transfers exist only when some predecessor already ran
+            # on another processor — hoisted out of the candidate scan.
+            needs_transfer = self.include_transfer and any(
+                ctx.assignment_of.get(p) is not None for p in ctx.predecessors(kid)
+            )
             best_alt: str | None = None
             best_cost = float("inf")
-            for proc in ctx.system:
-                if not idle(proc.name):
-                    continue
-                cost = ctx.exec_time(kid, proc.ptype)
-                if self.include_transfer:
-                    cost += ctx.transfer_time(kid, proc.name)
+            for name in avail:
+                cost = ctx.exec_time(kid, ptype_of[name])
+                if needs_transfer:
+                    cost += ctx.transfer_time(kid, name)
                 if cost <= threshold and cost < best_cost:
-                    best_alt, best_cost = proc.name, cost
+                    best_alt, best_cost = name, cost
             if best_alt is not None:
-                taken.add(best_alt)
+                del avail[best_alt]
                 kernel_name = ctx.dfg.spec(kid).kernel
                 self._alt_by_kernel[kernel_name] = (
                     self._alt_by_kernel.get(kernel_name, 0) + 1

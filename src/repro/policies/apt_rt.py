@@ -26,6 +26,9 @@ class APT_RT(APT):
     """APT + remaining-time check on the optimal processor."""
 
     name = "apt_rt"
+    # The remaining-time check compares busy processors' free_at against
+    # the current clock, so answers can flip on pure time advance.
+    time_sensitive = True
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []

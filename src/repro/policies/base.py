@@ -10,6 +10,14 @@ The paper studies two families (§2.5.2):
 Both are driven by the same :class:`~repro.core.simulator.Simulator`:
 dynamic policies implement :meth:`DynamicPolicy.select`, static ones
 implement :meth:`StaticPolicy.plan` and the simulator dispatches the plan.
+
+Every cost question — execution times, transfer times, best-processor
+queries — is answered by the simulator's single
+:class:`~repro.core.cost.CostModel`, threaded into dynamic policies via
+:attr:`SchedulingContext.cost` and into static policies as the ``cost``
+argument of :meth:`StaticPolicy.plan`.  Planning, dynamic selection and
+execution therefore always price an assignment identically (including
+the ``transfers_enabled=False`` mode, where every transfer is 0).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.core.cost import CostModel
 from repro.core.lookup import LookupTable
 from repro.core.system import Processor, ProcessorType, SystemConfig
 
@@ -75,7 +84,34 @@ class SchedulingContext:
     The ready set is ordered first-come-first-serve — by the time each
     kernel's dependencies completed, ties broken by kernel id (arrival
     order), matching the paper's queue discipline (§3.1).
+
+    Contexts are *views*, not snapshots: ``views``, ``assignment_of``,
+    ``completed`` and ``exec_history`` may be live structures the
+    simulator keeps updating between policy invocations (the incremental
+    hot path depends on not copying them).  ``ready`` and ``time`` are
+    immutable per invocation.  A policy must consume its context inside
+    ``select`` and never cache it across calls.
+
+    Construction accepts either a fully-configured ``cost``
+    (:class:`~repro.core.cost.CostModel`) — the simulator's path — or the
+    legacy ``lookup``/``element_size``/``transfer_mode`` pieces, from
+    which a transfers-enabled model is assembled.
     """
+
+    __slots__ = (
+        "time",
+        "ready",
+        "dfg",
+        "system",
+        "cost",
+        "views",
+        "assignment_of",
+        "completed",
+        "exec_history",
+        "_preds",
+        "_specs",
+        "_transfer_memo",
+    )
 
     def __init__(
         self,
@@ -83,25 +119,60 @@ class SchedulingContext:
         ready: Sequence[int],
         dfg: "DFG",
         system: SystemConfig,
-        lookup: LookupTable,
-        views: Mapping[str, ProcessorView],
-        assignment_of: Mapping[int, str],
-        completed: frozenset[int],
-        element_size: int,
-        transfer_mode: str,
-        exec_history: Mapping[str, Sequence[float]],
+        lookup: LookupTable | None = None,
+        views: Mapping[str, ProcessorView] = (),  # type: ignore[assignment]
+        assignment_of: Mapping[int, str] = (),  # type: ignore[assignment]
+        completed: frozenset[int] | set[int] = frozenset(),
+        element_size: int = 4,
+        transfer_mode: str = "single",
+        exec_history: Mapping[str, Sequence[float]] = (),  # type: ignore[assignment]
+        cost: CostModel | None = None,
+        transfers_enabled: bool = True,
+        predecessors_of: Mapping[int, list[int]] | None = None,
+        specs_of: "Mapping[int, object] | None" = None,
+        transfer_memo: "dict[tuple[int, str], float] | None" = None,
     ) -> None:
+        if cost is None:
+            if lookup is None:
+                raise TypeError("SchedulingContext needs either cost= or lookup=")
+            cost = CostModel(
+                system,
+                lookup,
+                element_size=element_size,
+                transfer_mode=transfer_mode,
+                transfers_enabled=transfers_enabled,
+            )
         self.time = time
         self.ready = tuple(ready)
         self.dfg = dfg
         self.system = system
-        self.lookup = lookup
-        self.views = dict(views)
-        self.assignment_of = dict(assignment_of)
+        self.cost = cost
+        self.views = views if views else {}
+        self.assignment_of = assignment_of if assignment_of else {}
         self.completed = completed
-        self.element_size = element_size
-        self.transfer_mode = transfer_mode
-        self.exec_history = {k: tuple(v) for k, v in exec_history.items()}
+        self.exec_history = exec_history if exec_history else {}
+        self._preds = predecessors_of
+        self._specs = specs_of
+        self._transfer_memo = transfer_memo
+
+    # ------------------------------------------------------------------
+    # cost-model passthroughs (back-compat attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def lookup(self) -> LookupTable:
+        return self.cost.lookup
+
+    @property
+    def element_size(self) -> int:
+        return self.cost.element_size
+
+    @property
+    def transfer_mode(self) -> str:
+        return self.cost.transfer_mode
+
+    @property
+    def transfers_enabled(self) -> bool:
+        return self.cost.transfers_enabled
 
     # ------------------------------------------------------------------
     # derived helpers shared by all policies
@@ -110,39 +181,84 @@ class SchedulingContext:
         """Idle processors, in system declaration order."""
         return [self.views[p.name] for p in self.system if self.views[p.name].idle]
 
+    def _spec(self, kernel_id: int):
+        if self._specs is not None:
+            return self._specs[kernel_id]
+        return self.dfg.spec(kernel_id)
+
+    def predecessors(self, kernel_id: int) -> list[int]:
+        """Dependency predecessors of a kernel (precomputed when possible)."""
+        if self._preds is not None:
+            return self._preds[kernel_id]
+        return self.dfg.predecessors(kernel_id)
+
     def exec_time(self, kernel_id: int, ptype: ProcessorType) -> float:
-        spec = self.dfg.spec(kernel_id)
-        return self.lookup.time(spec.kernel, spec.data_size, ptype)
+        spec = self._spec(kernel_id)
+        return self.cost.exec_time(spec.kernel, spec.data_size, ptype)
 
     def exec_time_on(self, kernel_id: int, processor: str) -> float:
         return self.exec_time(kernel_id, self.system[processor].ptype)
 
     def data_bytes(self, kernel_id: int) -> int:
-        return self.dfg.spec(kernel_id).data_size * self.element_size
+        return self.cost.data_bytes(self._spec(kernel_id).data_size)
 
     def transfer_time(self, kernel_id: int, processor: str) -> float:
         """Inbound transfer time if ``kernel_id`` were assigned to ``processor``.
 
-        Mirrors the simulator's transfer model (see
-        :class:`~repro.core.simulator.Simulator`): nothing to move when all
-        predecessors ran on the target processor (or there are none).
+        Exactly the simulator's transfer model (same
+        :class:`~repro.core.cost.CostModel` object): nothing to move when
+        all predecessors ran on the target processor, there are none, or
+        the run disabled transfers.
+
+        When the simulator supplied a run-level memo, answers for kernels
+        whose predecessors have all completed are cached — their
+        predecessors' placements can never change again, so the value is
+        final for the rest of the run.
         """
-        nbytes = self.data_bytes(kernel_id)
-        costs = []
-        for pred in self.dfg.predecessors(kernel_id):
-            src = self.assignment_of.get(pred)
-            if src is None or src == processor:
-                continue
-            costs.append(self.system.transfer_time_ms(src, processor, nbytes))
-        if not costs:
-            return 0.0
-        return sum(costs) if self.transfer_mode == "per_predecessor" else max(costs)
+        memo = self._transfer_memo
+        if memo is not None:
+            cached = memo.get((kernel_id, processor))
+            if cached is not None:
+                return cached
+        preds = self._preds[kernel_id] if self._preds is not None else None
+        nbytes = (
+            self._specs[kernel_id].data_size * self.cost.element_size
+            if self._specs is not None
+            else None
+        )
+        value = self.cost.inbound_transfer(
+            self.dfg, kernel_id, processor, self.assignment_of, preds, nbytes
+        )
+        if memo is not None:
+            if preds is None:
+                preds = self.dfg.predecessors(kernel_id)
+            if all(p in self.completed for p in preds):
+                memo[(kernel_id, processor)] = value
+        return value
 
     def best_processor_type(self, kernel_id: int) -> tuple[ProcessorType, float]:
         """The lookup table's p_min category and its execution time ``x``."""
-        spec = self.dfg.spec(kernel_id)
-        return self.lookup.best_processor(
-            spec.kernel, spec.data_size, self.system.processor_types()
+        spec = self._spec(kernel_id)
+        return self.cost.best_processor(spec.kernel, spec.data_size)
+
+    def with_ready(self, ready: Sequence[int]) -> "SchedulingContext":
+        """A sibling context exposing a reordered/filtered ready set.
+
+        Used by queue-discipline ablations; shares every other field.
+        """
+        return SchedulingContext(
+            time=self.time,
+            ready=ready,
+            dfg=self.dfg,
+            system=self.system,
+            views=self.views,
+            assignment_of=self.assignment_of,
+            completed=self.completed,
+            exec_history=self.exec_history,
+            cost=self.cost,
+            predecessors_of=self._preds,
+            specs_of=self._specs,
+            transfer_memo=self._transfer_memo,
         )
 
 
@@ -180,10 +296,15 @@ class Policy(abc.ABC):
     #: short identifier used in tables and the CLI (e.g. ``"apt"``).
     name: str = "policy"
 
-    @property
-    @abc.abstractmethod
-    def is_dynamic(self) -> bool:
-        """Whether the policy decides online (vs planning on the full DFG)."""
+    #: Whether decisions may depend on the *clock* (``ctx.time``, or busy
+    #: processors' ``free_at`` measured against it) rather than only on the
+    #: ready set and processor states.  The simulator may skip re-invoking a
+    #: time-insensitive policy whose last answer was empty when nothing but
+    #: the clock has changed since (pure streaming-arrival events).  The
+    #: conservative default — ``True`` — never skips on time advance; the
+    #: built-in policies override it except APT-RT, whose remaining-time
+    #: check reads the clock.
+    time_sensitive: bool = True
 
     def reset(self) -> None:
         """Clear per-run state.  Called by the simulator before each run."""
@@ -191,6 +312,11 @@ class Policy(abc.ABC):
     def stats(self) -> dict[str, object]:
         """Per-run policy statistics (e.g. APT's alternative assignments)."""
         return {}
+
+    @property
+    @abc.abstractmethod
+    def is_dynamic(self) -> bool:
+        """Whether the policy decides online (vs planning on the full DFG)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -220,12 +346,11 @@ class StaticPolicy(Policy):
         return False
 
     @abc.abstractmethod
-    def plan(
-        self,
-        dfg: "DFG",
-        system: SystemConfig,
-        lookup: LookupTable,
-        element_size: int,
-        transfer_mode: str,
-    ) -> StaticPlan:
-        """Compute the full kernel→processor plan for ``dfg``."""
+    def plan(self, dfg: "DFG", cost: CostModel) -> StaticPlan:
+        """Compute the full kernel→processor plan for ``dfg``.
+
+        ``cost`` is the simulator's :class:`~repro.core.cost.CostModel` —
+        the *same* object that will price the execution, so plans budget
+        exactly the costs the run charges (zero transfers when the run
+        disables them).  The hardware platform is ``cost.system``.
+        """

@@ -31,6 +31,9 @@ def _completion(ctx: SchedulingContext, kid: int, proc_name: str) -> float:
 class _BatchModePolicy(DynamicPolicy):
     """Shared select() loop; subclasses supply the kernel-choice rule."""
 
+    #: Completion costs depend only on the ready set and idle processors.
+    time_sensitive = False
+
     def _score(self, best: float, second: float) -> float:
         raise NotImplementedError
 

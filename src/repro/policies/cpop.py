@@ -5,11 +5,13 @@ Kernel priority is ``rank_u + rank_d`` (upward + downward rank, paper
 eqs. (3)–(5)); the set of kernels with priority equal to the entry
 kernel's is the *critical path*, and all of it is pinned to the single
 processor that minimizes the path's total execution time.  Off-path
-kernels are placed by insertion-based EFT like HEFT.
+kernels are placed by insertion-based EFT like HEFT.  Costs come from
+the simulator's :class:`~repro.core.cost.CostModel`.
 """
 
 from __future__ import annotations
 
+from repro.core.cost import CostModel
 from repro.core.lookup import LookupTable
 from repro.core.system import SystemConfig
 from repro.graphs.dfg import DFG
@@ -21,12 +23,16 @@ _PRIORITY_EPS = 1e-9
 
 
 def critical_path_kernels(
-    dfg: DFG, system: SystemConfig, lookup: LookupTable, element_size: int = 4
+    dfg: DFG,
+    system: SystemConfig,
+    lookup: LookupTable | CostModel,
+    element_size: int = 4,
 ) -> list[int]:
     """The CPOP critical path: kernels whose rank_u + rank_d equals the
     entry kernel's (maximal) priority, chained entry → exit."""
-    ru = upward_rank(dfg, system, lookup, element_size)
-    rd = downward_rank(dfg, system, lookup, element_size)
+    cost = CostModel.ensure(system, lookup, element_size)
+    ru = upward_rank(dfg, system, cost)
+    rd = downward_rank(dfg, system, cost)
     priority = {k: ru[k] + rd[k] for k in dfg.kernel_ids()}
     if not priority:
         return []
@@ -53,24 +59,18 @@ class CPOP(StaticPolicy):
 
     name = "cpop"
 
-    def plan(
-        self,
-        dfg: DFG,
-        system: SystemConfig,
-        lookup: LookupTable,
-        element_size: int = 4,
-        transfer_mode: str = "single",
-    ) -> StaticPlan:
-        ru = upward_rank(dfg, system, lookup, element_size)
-        rd = downward_rank(dfg, system, lookup, element_size)
+    def plan(self, dfg: DFG, cost: CostModel) -> StaticPlan:
+        system = cost.system
+        ru = upward_rank(dfg, system, cost)
+        rd = downward_rank(dfg, system, cost)
         priority = {k: ru[k] + rd[k] for k in dfg.kernel_ids()}
 
-        cp = set(critical_path_kernels(dfg, system, lookup, element_size))
+        cp = set(critical_path_kernels(dfg, system, cost))
         # The CP processor minimizes the path's total execution time.
         cp_proc = min(
             system.processors,
             key=lambda p: sum(
-                lookup.time(dfg.spec(k).kernel, dfg.spec(k).data_size, p.ptype)
+                cost.exec_time(dfg.spec(k).kernel, dfg.spec(k).data_size, p.ptype)
                 for k in cp
             ),
         ).name
@@ -89,14 +89,14 @@ class CPOP(StaticPolicy):
         while ready:
             kid = ready.pop(0)
             spec = dfg.spec(kid)
-            nbytes = spec.data_size * element_size
+            nbytes = cost.data_bytes(spec.data_size)
 
             def eft_on(proc_name: str) -> tuple[float, float]:
                 est = 0.0
                 for pred in dfg.predecessors(kid):
-                    comm = system.transfer_time_ms(proc_of[pred], proc_name, nbytes)
+                    comm = cost.transfer_time_ms(proc_of[pred], proc_name, nbytes)
                     est = max(est, finish[pred] + comm)
-                w = lookup.time(spec.kernel, spec.data_size, system[proc_name].ptype)
+                w = cost.exec_time(spec.kernel, spec.data_size, system[proc_name].ptype)
                 s = find_insertion_start(proc_slots[proc_name], est, w)
                 return s, s + w
 

@@ -16,14 +16,18 @@ A static list scheduler in two phases (§2.5.3, eqs. (3)–(5)):
    into an idle gap between two already-scheduled kernels when the gap can
    accommodate it.
 
-The module also exposes :func:`upward_rank` / :func:`downward_rank`
-(eq. (5)) as standalone utilities.
+All costs come from a :class:`~repro.core.cost.CostModel`, so a
+transfers-disabled run plans with zero communication — the same zero the
+simulator will charge.  The module also exposes :func:`upward_rank` /
+:func:`downward_rank` (eq. (5)) as standalone utilities; they accept
+either a bare lookup table or a cost model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cost import CostModel
 from repro.core.lookup import LookupTable
 from repro.core.system import SystemConfig
 from repro.graphs.dfg import DFG
@@ -38,50 +42,49 @@ class _Slot:
     finish: float
 
 
-def _avg_exec(dfg: DFG, system: SystemConfig, lookup: LookupTable, kid: int) -> float:
+def _avg_exec(dfg: DFG, cost: CostModel, kid: int) -> float:
     spec = dfg.spec(kid)
-    times = [lookup.time(spec.kernel, spec.data_size, p.ptype) for p in system]
+    times = [cost.exec_time(spec.kernel, spec.data_size, p.ptype) for p in cost.system]
     return sum(times) / len(times)
 
 
-def _avg_comm(
-    dfg: DFG, system: SystemConfig, element_size: int, dst_kid: int
-) -> float:
+def _avg_comm(dfg: DFG, cost: CostModel, dst_kid: int) -> float:
     """Average communication cost of an edge into ``dst_kid``.
 
     Averaged over all ordered processor pairs, including the zero-cost
     same-processor pairs — the standard HEFT convention for
-    :math:`\\bar c_{i,j}`.
+    :math:`\\bar c_{i,j}`.  Zero when the cost model disables transfers.
     """
-    nbytes = dfg.spec(dst_kid).data_size * element_size
-    procs = system.processors
-    total = sum(
-        system.transfer_time_ms(a.name, b.name, nbytes) for a in procs for b in procs
-    )
-    return total / (len(procs) ** 2)
+    return cost.avg_comm(dfg.spec(dst_kid).data_size)
 
 
 def upward_rank(
-    dfg: DFG, system: SystemConfig, lookup: LookupTable, element_size: int = 4
+    dfg: DFG,
+    system: SystemConfig,
+    lookup: LookupTable | CostModel,
+    element_size: int = 4,
 ) -> dict[int, float]:
     """``rank_u`` for every kernel (eq. (3)); exit kernels get w̄ (eq. (4))."""
+    cost = CostModel.ensure(system, lookup, element_size)
     ranks: dict[int, float] = {}
     for kid in reversed(dfg.topological_order()):
-        w = _avg_exec(dfg, system, lookup, kid)
+        w = _avg_exec(dfg, cost, kid)
         succs = dfg.successors(kid)
         if not succs:
             ranks[kid] = w
         else:
-            ranks[kid] = w + max(
-                _avg_comm(dfg, system, element_size, j) + ranks[j] for j in succs
-            )
+            ranks[kid] = w + max(_avg_comm(dfg, cost, j) + ranks[j] for j in succs)
     return ranks
 
 
 def downward_rank(
-    dfg: DFG, system: SystemConfig, lookup: LookupTable, element_size: int = 4
+    dfg: DFG,
+    system: SystemConfig,
+    lookup: LookupTable | CostModel,
+    element_size: int = 4,
 ) -> dict[int, float]:
     """``rank_d`` for every kernel (eq. (5)); entry kernels get 0."""
+    cost = CostModel.ensure(system, lookup, element_size)
     ranks: dict[int, float] = {}
     for kid in dfg.topological_order():
         preds = dfg.predecessors(kid)
@@ -89,9 +92,7 @@ def downward_rank(
             ranks[kid] = 0.0
         else:
             ranks[kid] = max(
-                ranks[j]
-                + _avg_exec(dfg, system, lookup, j)
-                + _avg_comm(dfg, system, element_size, kid)
+                ranks[j] + _avg_exec(dfg, cost, j) + _avg_comm(dfg, cost, kid)
                 for j in preds
             )
     return ranks
@@ -122,15 +123,9 @@ class HEFT(StaticPolicy):
 
     name = "heft"
 
-    def plan(
-        self,
-        dfg: DFG,
-        system: SystemConfig,
-        lookup: LookupTable,
-        element_size: int = 4,
-        transfer_mode: str = "single",
-    ) -> StaticPlan:
-        ranks = upward_rank(dfg, system, lookup, element_size)
+    def plan(self, dfg: DFG, cost: CostModel) -> StaticPlan:
+        system = cost.system
+        ranks = upward_rank(dfg, system, cost)
         order = sorted(dfg.kernel_ids(), key=lambda k: (-ranks[k], k))
 
         proc_slots: dict[str, list[_Slot]] = {p.name: [] for p in system}
@@ -140,14 +135,14 @@ class HEFT(StaticPolicy):
 
         for kid in order:
             spec = dfg.spec(kid)
-            nbytes = spec.data_size * element_size
+            nbytes = cost.data_bytes(spec.data_size)
             best: tuple[float, float, str] | None = None  # (eft, est, proc)
             for proc in system:
                 est = 0.0
                 for pred in dfg.predecessors(kid):
-                    comm = system.transfer_time_ms(proc_of[pred], proc.name, nbytes)
+                    comm = cost.transfer_time_ms(proc_of[pred], proc.name, nbytes)
                     est = max(est, finish[pred] + comm)
-                w = lookup.time(spec.kernel, spec.data_size, proc.ptype)
+                w = cost.exec_time(spec.kernel, spec.data_size, proc.ptype)
                 s = find_insertion_start(proc_slots[proc.name], est, w)
                 eft = s + w
                 if best is None or eft < best[0] - 1e-12:

@@ -32,24 +32,32 @@ class MET(DynamicPolicy):
 
     def __init__(self, rng: np.random.Generator | None = None) -> None:
         self.rng = rng
+        # A seeded MET draws a permutation on *every* invocation, so its
+        # answers are not a pure function of the context — opt out of the
+        # simulator's skip-when-unchanged guard to keep the RNG stream
+        # aligned with an always-reinvoking engine.
+        self.time_sensitive = rng is not None
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []
-        taken: set[str] = set()
+        # Idle and not yet consumed this call, in system declaration order.
+        avail: dict[str, None] = {
+            p.name: None for p in ctx.system if ctx.views[p.name].idle
+        }
         order = list(ctx.ready)
         if self.rng is not None:
             order = [order[i] for i in self.rng.permutation(len(order))]
         for kid in order:
+            if not avail:
+                # MET only ever targets a kernel's best category; with no
+                # processor available nothing further can be assigned.
+                break
             best_ptype, _ = ctx.best_processor_type(kid)
             p_min = next(
-                (
-                    p.name
-                    for p in ctx.system.of_type(best_ptype)
-                    if ctx.views[p.name].idle and p.name not in taken
-                ),
+                (p.name for p in ctx.system.of_type(best_ptype) if p.name in avail),
                 None,
             )
             if p_min is not None:
-                taken.add(p_min)
+                del avail[p_min]
                 out.append(Assignment(kernel_id=kid, processor=p_min))
         return out

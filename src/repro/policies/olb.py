@@ -17,6 +17,7 @@ class OLB(DynamicPolicy):
     """Opportunistic Load Balancing: first ready kernel → first idle processor."""
 
     name = "olb"
+    time_sensitive = False
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []

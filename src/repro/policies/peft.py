@@ -11,11 +11,14 @@ with ``OCT(exit, ·) = 0``.  Kernel priority is the row average
 
     OEFT(t_i, p_k) = EFT(t_i, p_k) + OCT(t_i, p_k)
 
-where EFT uses the same insertion policy as HEFT.
+where EFT uses the same insertion policy as HEFT.  All costs come from
+the simulator's :class:`~repro.core.cost.CostModel`, so a
+transfers-disabled run plans with zero communication.
 """
 
 from __future__ import annotations
 
+from repro.core.cost import CostModel
 from repro.core.lookup import LookupTable
 from repro.core.system import SystemConfig
 from repro.graphs.dfg import DFG
@@ -26,10 +29,11 @@ from repro.policies.heft import _Slot, _avg_comm, find_insertion_start
 def optimistic_cost_table(
     dfg: DFG,
     system: SystemConfig,
-    lookup: LookupTable,
+    lookup: LookupTable | CostModel,
     element_size: int = 4,
 ) -> dict[int, dict[str, float]]:
     """The OCT matrix: ``oct[kernel_id][processor_name]`` (eq. (6))."""
+    cost = CostModel.ensure(system, lookup, element_size)
     oct_: dict[int, dict[str, float]] = {}
     procs = list(system.processors)
     for kid in reversed(dfg.topological_order()):
@@ -42,10 +46,10 @@ def optimistic_cost_table(
             worst = 0.0
             for j in succs:
                 spec_j = dfg.spec(j)
-                cbar = _avg_comm(dfg, system, element_size, j)
+                cbar = _avg_comm(dfg, cost, j)
                 best = min(
                     oct_[j][pw.name]
-                    + lookup.time(spec_j.kernel, spec_j.data_size, pw.ptype)
+                    + cost.exec_time(spec_j.kernel, spec_j.data_size, pw.ptype)
                     + (0.0 if pw.name == pk.name else cbar)
                     for pw in procs
                 )
@@ -65,15 +69,9 @@ class PEFT(StaticPolicy):
 
     name = "peft"
 
-    def plan(
-        self,
-        dfg: DFG,
-        system: SystemConfig,
-        lookup: LookupTable,
-        element_size: int = 4,
-        transfer_mode: str = "single",
-    ) -> StaticPlan:
-        oct_ = optimistic_cost_table(dfg, system, lookup, element_size)
+    def plan(self, dfg: DFG, cost: CostModel) -> StaticPlan:
+        system = cost.system
+        oct_ = optimistic_cost_table(dfg, system, cost)
         ranks = rank_oct(oct_)
 
         proc_slots: dict[str, list[_Slot]] = {p.name: [] for p in system}
@@ -92,14 +90,14 @@ class PEFT(StaticPolicy):
         while ready:
             kid = ready.pop(0)
             spec = dfg.spec(kid)
-            nbytes = spec.data_size * element_size
+            nbytes = cost.data_bytes(spec.data_size)
             best: tuple[float, float, float, str] | None = None  # (oeft, eft, s, proc)
             for proc in system:
                 est = 0.0
                 for pred in dfg.predecessors(kid):
-                    comm = system.transfer_time_ms(proc_of[pred], proc.name, nbytes)
+                    comm = cost.transfer_time_ms(proc_of[pred], proc.name, nbytes)
                     est = max(est, finish[pred] + comm)
-                w = lookup.time(spec.kernel, spec.data_size, proc.ptype)
+                w = cost.exec_time(spec.kernel, spec.data_size, proc.ptype)
                 s = find_insertion_start(proc_slots[proc.name], est, w)
                 eft = s + w
                 oeft = eft + oct_[kid][proc.name]

@@ -17,6 +17,7 @@ class RandomPolicy(DynamicPolicy):
     """Uniform-random kernel→idle-processor assignment (seeded)."""
 
     name = "random"
+    time_sensitive = False
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

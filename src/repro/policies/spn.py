@@ -16,6 +16,7 @@ class SPN(DynamicPolicy):
     """Shortest Process Next."""
 
     name = "spn"
+    time_sensitive = False
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []

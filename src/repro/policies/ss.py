@@ -27,6 +27,7 @@ class SS(DynamicPolicy):
     """Serial Scheduling (highest execution-time spread first)."""
 
     name = "ss"
+    time_sensitive = False
 
     def select(self, ctx: SchedulingContext) -> list[Assignment]:
         out: list[Assignment] = []

@@ -137,3 +137,32 @@ class TestQueries:
         assert dfg.is_empty()
         assert dfg.entry_kernels() == []
         dfg.validate()
+
+
+class TestBulkDependencies:
+    def test_bulk_matches_per_edge(self):
+        specs = [KernelSpec("k", 10) for _ in range(5)]
+        a = DFG.from_kernels(specs)
+        b = DFG.from_kernels(specs)
+        edges = [(0, 2), (1, 2), (2, 3), (2, 4)]
+        for u, v in edges:
+            a.add_dependency(u, v)
+        b.add_dependencies(edges)
+        assert a.edges() == b.edges()
+
+    def test_bulk_rejects_cycle_and_rolls_back(self):
+        dfg = DFG.from_kernels([KernelSpec("k", 10) for _ in range(3)])
+        dfg.add_dependency(0, 1)
+        with pytest.raises(ValueError, match="cycle"):
+            dfg.add_dependencies([(1, 2), (2, 0)])
+        assert dfg.edges() == [(0, 1)]
+
+    def test_bulk_rejects_unknown_endpoint(self):
+        dfg = DFG.from_kernels([KernelSpec("k", 10)])
+        with pytest.raises(KeyError):
+            dfg.add_dependencies([(0, 99)])
+
+    def test_bulk_rejects_self_dependency(self):
+        dfg = DFG.from_kernels([KernelSpec("k", 10) for _ in range(2)])
+        with pytest.raises(ValueError, match="self-dependency"):
+            dfg.add_dependencies([(1, 1)])

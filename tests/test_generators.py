@@ -147,3 +147,36 @@ class TestOtherGenerators:
             make_fork_join_dfg(0, rng=rng)
         with pytest.raises(ValueError):
             make_independent_dfg(0, rng=rng)
+
+
+class TestPipelineDFG:
+    def test_stage_structure(self, rng, synth_population):
+        from repro.graphs.generators import make_pipeline_dfg
+
+        dfg = make_pipeline_dfg(10, rng=rng, population=synth_population, stage_width=4)
+        assert len(dfg) == 10
+        # stages: [0-3], [4-7], [8-9]; each kernel depends on full prior stage
+        assert dfg.predecessors(4) == [0, 1, 2, 3]
+        assert dfg.predecessors(8) == [4, 5, 6, 7]
+        assert dfg.entry_kernels() == [0, 1, 2, 3]
+
+    def test_parallelism_bounded_by_stage_width(self, rng, synth_population):
+        from repro.graphs.analysis import parallelism_profile
+        from repro.graphs.generators import make_pipeline_dfg
+
+        dfg = make_pipeline_dfg(40, rng=rng, population=synth_population, stage_width=5)
+        assert max(parallelism_profile(dfg)) <= 5
+
+    def test_single_stage_is_independent(self, rng, synth_population):
+        from repro.graphs.generators import make_pipeline_dfg
+
+        dfg = make_pipeline_dfg(3, rng=rng, population=synth_population, stage_width=8)
+        assert dfg.n_edges == 0
+
+    def test_validation(self, rng, synth_population):
+        from repro.graphs.generators import make_pipeline_dfg
+
+        with pytest.raises(ValueError):
+            make_pipeline_dfg(0, rng=rng, population=synth_population)
+        with pytest.raises(ValueError):
+            make_pipeline_dfg(5, rng=rng, population=synth_population, stage_width=0)

@@ -19,6 +19,7 @@ from repro.policies.heft import (
     upward_rank,
 )
 from repro.policies.met import MET
+from repro.core.cost import CostModel
 from tests.conftest import make_synth_population
 from tests.test_simulator import dfg_of
 
@@ -84,7 +85,7 @@ class TestInsertion:
 
 class TestPlanning:
     def test_chain_placement(self, chain_dfg, system, synth_lookup):
-        plan = HEFT().plan(chain_dfg, system, synth_lookup, 4, "single")
+        plan = HEFT().plan(chain_dfg, CostModel(system, synth_lookup))
         assert plan.processor_of[0] == "cpu0"
         assert plan.processor_of[1] == "gpu0"
         assert plan.planned_start[1] == pytest.approx(11.0)  # 10 exec + 1 comm
@@ -94,7 +95,7 @@ class TestPlanning:
         from repro.graphs.generators import make_type1_dfg
 
         dfg = make_type1_dfg(25, rng=rng, population=make_synth_population())
-        plan = HEFT().plan(dfg, system, synth_lookup, 4, "single")
+        plan = HEFT().plan(dfg, CostModel(system, synth_lookup))
         plan.validate(dfg, system)
 
     def test_simulated_schedule_is_feasible(self, synth_sim, rng):

@@ -14,6 +14,7 @@ import pytest
 
 from repro.policies.met import MET
 from repro.policies.peft import PEFT, optimistic_cost_table, rank_oct
+from repro.core.cost import CostModel
 from tests.conftest import make_synth_population
 from tests.test_simulator import dfg_of
 
@@ -52,7 +53,7 @@ class TestOCT:
 
 class TestPlanning:
     def test_chain_placement_minimizes_oeft(self, chain_dfg, system, synth_lookup):
-        plan = PEFT().plan(chain_dfg, system, synth_lookup, 4, "single")
+        plan = PEFT().plan(chain_dfg, CostModel(system, synth_lookup))
         # kernel 0: OEFT cpu = 10 + 10.67 ≈ 20.67 beats gpu (110), fpga (60.67)
         assert plan.processor_of[0] == "cpu0"
         assert plan.processor_of[1] == "gpu0"
@@ -61,7 +62,7 @@ class TestPlanning:
         from repro.graphs.generators import make_type1_dfg
 
         dfg = make_type1_dfg(25, rng=rng, population=make_synth_population())
-        plan = PEFT().plan(dfg, system, synth_lookup, 4, "single")
+        plan = PEFT().plan(dfg, CostModel(system, synth_lookup))
         plan.validate(dfg, system)
 
     def test_simulated_schedule_is_feasible(self, synth_sim, rng):

@@ -1,0 +1,126 @@
+"""Bit-for-bit equivalence of the incremental and reference inner loops.
+
+The optimized :class:`~repro.core.simulator.Simulator` must reproduce the
+pre-refactor :class:`~repro.core.reference.ReferenceSimulator` *exactly* —
+every :class:`~repro.core.schedule.ScheduleEntry` field of every kernel —
+across all registered policies, both paper DFG shapes, streaming
+arrivals, and execution noise.  Both engines share the policies and the
+CostModel; only the event-loop bookkeeping differs, so any divergence is
+a hot-path bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reference import ReferenceSimulator
+from repro.core.simulator import Simulator
+from repro.core.system import CPU_GPU_FPGA
+from repro.data.paper_tables import paper_lookup_table
+from repro.experiments.workloads import (
+    paper_suite,
+    scale_system,
+    streaming_scale_workload,
+)
+from repro.policies.registry import available_policies, get_policy
+
+ALL_POLICIES = available_policies()
+
+
+@pytest.fixture(scope="module")
+def lookup():
+    return paper_lookup_table()
+
+
+@pytest.fixture(scope="module")
+def system():
+    return CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+
+
+def assert_identical_runs(sim_kwargs, dfg, policy_name, arrivals=None):
+    system = sim_kwargs.pop("system")
+    lookup = sim_kwargs.pop("lookup")
+    fast = Simulator(system, lookup, **sim_kwargs).run(
+        dfg, get_policy(policy_name), arrivals=arrivals
+    )
+    slow = ReferenceSimulator(system, lookup, **sim_kwargs).run(
+        dfg, get_policy(policy_name), arrivals=arrivals
+    )
+    # ScheduleEntry is a frozen dataclass: == compares every field.
+    assert list(fast.schedule) == list(slow.schedule), (
+        f"schedule divergence: {policy_name} on {dfg.name}"
+    )
+    assert fast.metrics == slow.metrics
+    assert fast.policy_stats == slow.policy_stats
+
+
+class TestFullPaperSuite:
+    """The acceptance matrix: every policy × every graph of both suites."""
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    @pytest.mark.parametrize("dfg_type", [1, 2])
+    def test_policy_on_full_suite(self, policy_name, dfg_type, system, lookup):
+        for dfg in paper_suite(dfg_type):
+            assert_identical_runs(
+                {"system": system, "lookup": lookup}, dfg, policy_name
+            )
+
+
+class TestTransfersDisabled:
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_disabled_transfers_equivalence(self, policy_name, system, lookup):
+        # one mid-size graph per suite keeps this matrix quick
+        for dfg_type in (1, 2):
+            dfg = paper_suite(dfg_type)[3]
+            assert_identical_runs(
+                {"system": system, "lookup": lookup, "transfers_enabled": False},
+                dfg,
+                policy_name,
+            )
+
+
+class TestExecutionNoise:
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_noise_equivalence(self, policy_name, system, lookup):
+        dfg = paper_suite(1)[2]
+        assert_identical_runs(
+            {
+                "system": system,
+                "lookup": lookup,
+                "exec_noise_sigma": 0.25,
+                "noise_seed": 7,
+            },
+            dfg,
+            policy_name,
+        )
+
+
+class TestStreamingArrivals:
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_streaming_equivalence(self, policy_name, lookup):
+        dfg, arrivals = streaming_scale_workload(
+            n_kernels=250, seed=11, mean_interarrival_ms=2000.0
+        )
+        assert_identical_runs(
+            {"system": scale_system(n_cpu=2, n_gpu=2, n_fpga=2), "lookup": lookup},
+            dfg,
+            policy_name,
+            arrivals=arrivals,
+        )
+
+    @pytest.mark.parametrize("policy_name", ["apt", "apt_rt", "met", "ag", "heft"])
+    def test_streaming_with_noise_equivalence(self, policy_name, lookup):
+        dfg, arrivals = streaming_scale_workload(
+            n_kernels=200, seed=3, mean_interarrival_ms=1500.0
+        )
+        assert_identical_runs(
+            {
+                "system": scale_system(n_cpu=2, n_gpu=2, n_fpga=2),
+                "lookup": lookup,
+                "exec_noise_sigma": 0.3,
+                "noise_seed": 42,
+            },
+            dfg,
+            policy_name,
+            arrivals=arrivals,
+        )

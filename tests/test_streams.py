@@ -177,3 +177,106 @@ class TestStreamingBehaviour:
         merged, arrivals = stream.merged()
         result = synth_sim.run(merged, MET(), arrivals=arrivals)
         assert result.metrics.lambda_stats.total == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# property-based guard on the merged() id renumbering
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.graphs.dfg import KernelSpec  # noqa: E402
+
+
+@st.composite
+def _random_app(draw):
+    """A small random DAG (forward edges only, so acyclic by construction)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    edges = sorted(
+        draw(
+            st.sets(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ).filter(lambda e: e[0] < e[1]),
+                max_size=8,
+            )
+        )
+    )
+    kernels = [
+        KernelSpec(draw(st.sampled_from(["fast_cpu", "fast_gpu", "uniform"])), 1_000_000)
+        for _ in range(n)
+    ]
+    return DFG.from_kernels(kernels, dependencies=edges)
+
+
+@st.composite
+def _random_stream(draw):
+    apps = draw(st.lists(_random_app(), min_size=1, max_size=6))
+    arrivals = [
+        draw(st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False))
+        for _ in apps
+    ]
+    return ApplicationStream(
+        [ApplicationArrival(dfg, t) for dfg, t in zip(apps, arrivals)]
+    )
+
+
+class TestMergedProperties:
+    """The EventQueue/ApplicationStream id-renumbering contract: a merged
+    stream preserves every edge, the arrival ordering, and each
+    application's internal topology."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=_random_stream())
+    def test_merged_preserves_structure(self, stream):
+        merged, arrivals = stream.merged()
+        apps = list(stream)  # sorted by arrival time (stable)
+
+        # contiguous ids, one per source kernel, every id has an arrival
+        n_total = sum(len(a.dfg) for a in apps)
+        assert sorted(merged.kernel_ids()) == list(range(n_total))
+        assert set(arrivals) == set(range(n_total))
+
+        # block renumbering: app k owns ids [offset, offset + len)
+        offset = 0
+        expected_edges = []
+        for app in apps:
+            ids = app.dfg.kernel_ids()
+            id_map = {kid: offset + i for i, kid in enumerate(ids)}
+            # every kernel keeps its spec and inherits the app's arrival
+            for kid in ids:
+                assert merged.spec(id_map[kid]) == app.dfg.spec(kid)
+                assert arrivals[id_map[kid]] == app.arrival_ms
+            # internal topology is preserved under the renumbering
+            expected_edges.extend(
+                (id_map[u], id_map[v]) for u, v in app.dfg.edges()
+            )
+            offset += len(app.dfg)
+
+        # exactly the per-application edges — nothing lost, nothing added,
+        # and never an edge between two different applications
+        assert sorted(merged.edges()) == sorted(expected_edges)
+
+        # arrival ordering: ids are non-decreasing in application arrival
+        # time (kernel id doubles as FCFS arrival order)
+        id_arrivals = [arrivals[k] for k in sorted(arrivals)]
+        app_spans = []
+        offset = 0
+        for app in apps:
+            app_spans.append((offset, offset + len(app.dfg)))
+            offset += len(app.dfg)
+        for (lo, hi), app in zip(app_spans, apps):
+            assert all(id_arrivals[i] == app.arrival_ms for i in range(lo, hi))
+        assert id_arrivals == sorted(id_arrivals)
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=_random_stream())
+    def test_merged_simulates_cleanly(self, stream):
+        """Every merged stream is a valid simulator input."""
+        from repro.core.simulator import Simulator
+        from repro.core.system import CPU_GPU_FPGA
+        from tests.conftest import make_synthetic_lookup
+
+        merged, arrivals = stream.merged()
+        sim = Simulator(CPU_GPU_FPGA(), make_synthetic_lookup())
+        result = sim.run(merged, OLB(), arrivals=arrivals)
+        assert len(result.schedule) == len(merged)
