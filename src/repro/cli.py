@@ -10,6 +10,10 @@ Subcommands
 * ``figure5``   — the published MET-vs-APT schedule example;
 * ``extension`` — the beyond-the-paper studies (streaming load sweep,
   extended policy pool, energy comparison);
+* ``scenario``  — the declarative scenario registry: ``list`` the
+  catalog, ``show`` one spec (``--json`` for the serialized form), or
+  ``run`` scenarios through the cached sweep engine, recording rendered
+  result tables under ``results/``;
 * ``calibrate`` — measure the real kernels on this machine and write a
   fresh lookup table JSON.
 
@@ -129,6 +133,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ext.add_argument("study", choices=("stream", "policies", "energy"))
     ext.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    scen = sub.add_parser(
+        "scenario",
+        help="declarative scenario registry (list / show / run)",
+        parents=[engine],
+    )
+    scen.add_argument("action", choices=("list", "show", "run"))
+    scen.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names (show: exactly one; run: default = all)",
+    )
+    scen.add_argument(
+        "--json", action="store_true", help="show: print the serialized spec"
+    )
+    scen.add_argument(
+        "--results-dir",
+        default="results",
+        help="run: directory for rendered scenario tables",
+    )
 
     cal = sub.add_parser("calibrate", help="measure kernels, write lookup JSON")
     cal.add_argument("output", help="path of the lookup-table JSON to write")
@@ -252,6 +276,52 @@ def _cmd_extension(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.experiments.scenarios import (
+        available_scenarios,
+        get_scenario,
+        run_scenario,
+    )
+    from repro.experiments.sweep import SweepEngine
+
+    if args.action == "list":
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            print(f"{name:<22s} {spec.description}")
+        return 0
+
+    if args.action == "show":
+        if len(args.names) != 1:
+            print("scenario show takes exactly one scenario name", file=sys.stderr)
+            return 2
+        spec = get_scenario(args.names[0])
+        if args.json:
+            print(_json.dumps(spec.to_dict(), indent=2))
+        else:
+            print(spec.describe())
+        return 0
+
+    # run
+    names = list(args.names) or list(available_scenarios())
+    engine = SweepEngine(
+        workers=args.workers, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    out_dir = Path(args.results_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        outcome = run_scenario(name, engine=engine)
+        text = render_table(outcome.table())
+        print(text)
+        print()
+        path = out_dir / f"scenario_{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"  -> {path}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.kernels.calibration import Calibrator
 
@@ -280,6 +350,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "figure5": _cmd_figure5,
     "extension": _cmd_extension,
+    "scenario": _cmd_scenario,
     "calibrate": _cmd_calibrate,
 }
 

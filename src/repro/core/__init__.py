@@ -5,6 +5,7 @@ system driven by a table of measured kernel execution times.  This
 subpackage rebuilds that simulator:
 
 * :mod:`repro.core.system` — processors, link model, system configuration;
+* :mod:`repro.core.topology` — interconnect graphs, routes, contention;
 * :mod:`repro.core.lookup` — the kernel-execution-time lookup table;
 * :mod:`repro.core.cost` — the unified assignment cost model;
 * :mod:`repro.core.events` — the event queue driving the simulation;
@@ -16,6 +17,16 @@ subpackage rebuilds that simulator:
 """
 
 from repro.core.system import Processor, ProcessorType, SystemConfig, CPU_GPU_FPGA
+from repro.core.topology import (
+    Route,
+    TopoLink,
+    Topology,
+    bus_topology,
+    fat_tree_topology,
+    mesh_topology,
+    star_topology,
+    tree_topology,
+)
 from repro.core.lookup import LookupTable, LookupEntry
 from repro.core.cost import CostModel
 from repro.core.events import Event, EventKind, EventQueue
@@ -37,6 +48,14 @@ __all__ = [
     "ProcessorType",
     "SystemConfig",
     "CPU_GPU_FPGA",
+    "Topology",
+    "TopoLink",
+    "Route",
+    "star_topology",
+    "tree_topology",
+    "mesh_topology",
+    "bus_topology",
+    "fat_tree_topology",
     "LookupTable",
     "LookupEntry",
     "CostModel",

@@ -129,10 +129,52 @@ class CostModel:
         return data_size * self.element_size
 
     def transfer_time_ms(self, src: str, dst: str, nbytes: float) -> float:
-        """Link transfer time — exactly 0.0 when transfers are disabled."""
+        """Link transfer time — exactly 0.0 when transfers are disabled.
+
+        On topology systems this is the *uncontended* route time
+        (bottleneck bandwidth + latency).  Planning and selection always
+        price transfers uncontended — a policy cannot know the future
+        flow set — while execution layers fair-share contention on top
+        when the topology enables it.
+        """
         if not self.transfers_enabled:
             return 0.0
         return self.system.transfer_time_ms(src, dst, nbytes)
+
+    def route(self, src: str, dst: str):
+        """The interconnect route ``src -> dst``; ``None`` on flat systems."""
+        return self.system.route(src, dst)
+
+    def transfer_flow_sources(
+        self,
+        predecessors: "list[int]",
+        assignment_of: Mapping[int, str],
+        target: str,
+        nbytes: int,
+    ) -> list[str]:
+        """Distinct source processors that would open an inbound flow.
+
+        The single source of truth for the contended-transfer source
+        filter, shared by the simulator's event path and
+        :meth:`~repro.policies.base.SchedulingContext.transfer_sources`:
+        already-placed predecessors on a different processor than
+        ``target``, deduplicated in predecessor order, excluding sources
+        whose route charges nothing (infinite bandwidth and zero
+        latency — or transfers disabled), since those open no flow.
+        """
+        if not self.transfers_enabled:
+            return []
+        sources: list[str] = []
+        for pred in predecessors:
+            src = assignment_of.get(pred)
+            if (
+                src is not None
+                and src != target
+                and src not in sources
+                and self.system.transfer_time_ms(src, target, nbytes) > 0.0
+            ):
+                sources.append(src)
+        return sources
 
     def combine_transfers(self, costs: list[float]) -> float:
         """Fold per-predecessor transfer costs per ``transfer_mode``."""

@@ -16,9 +16,20 @@ from typing import Any
 
 
 class EventKind(Enum):
-    """What happened at an event timestamp."""
+    """What happened at an event timestamp.
+
+    ``TRANSFER_START`` / ``TRANSFER_COMPLETE`` drive the contended
+    transfer path (topologies with ``contention=True``): a transfer's
+    route latency elapses first (``TRANSFER_START`` marks the flow
+    joining the draining pool), then the flow drains under fair-share
+    bandwidth.  Because shares change whenever a flow joins or leaves,
+    ``TRANSFER_COMPLETE`` events carry a *version* in their payload;
+    an event whose version no longer matches the flow's current one is
+    stale (a reshare superseded it) and is skipped by the simulator.
+    """
 
     KERNEL_READY = "kernel_ready"
+    TRANSFER_START = "transfer_start"
     TRANSFER_COMPLETE = "transfer_complete"
     KERNEL_COMPLETE = "kernel_complete"
 

@@ -49,6 +49,14 @@ class ReferenceSimulator(Simulator):
         driver: DynamicPolicy,
         arrivals: dict[int, float],
     ) -> SimulationResult:
+        topo = self.system.topology
+        if topo is not None and topo.contended and self.transfers_enabled:
+            raise NotImplementedError(
+                "ReferenceSimulator is the oracle for the uncontended "
+                "fixed-charge transfer path; run contended topologies on "
+                "Simulator (or set contention=False for route-shaped but "
+                "uncontended costs)"
+            )
         cost = self.cost
         procs: dict[str, _ProcState] = {p.name: _ProcState() for p in self.system}
         arrival_of = {k: arrivals.get(k, 0.0) for k in dfg.kernel_ids()}

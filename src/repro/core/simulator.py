@@ -42,6 +42,25 @@ many-processor systems:
   it can observe has changed (see :attr:`~repro.policies.base.Policy.
   time_sensitive`).
 
+Contended transfers
+-------------------
+When the system carries a :class:`~repro.core.topology.Topology` with
+``contention=True``, inbound transfers become first-class events instead
+of a fixed up-front charge: each cross-processor predecessor placement
+opens one *flow* over its precomputed route; concurrent flows sharing a
+channel split its bandwidth equally (fair share), and shares are
+recomputed exactly at transfer start/finish events
+(:class:`~repro.core.topology.ContentionManager`).  A flow's route
+latency elapses first (``TRANSFER_START``), then the flow drains;
+completion events are *versioned* and stale ones (superseded by a
+reshare) are skipped.  The kernel computes once its last flow finishes.
+A run in which no two flows ever overlap on a shared channel charges
+exactly the uncontended route times; topologies with ``contention=False``
+(and all flat systems) keep the original fixed-charge path untouched —
+that is the bit-for-bit equivalence guarantee the paper-number tests
+rest on.  While a transfer is in flight its processor's ``free_at`` is
+the *uncontended* estimate, corrected when the flow set resolves.
+
 ``repro.core.reference.ReferenceSimulator`` keeps the straightforward
 rebuild-everything loop; ``tests/test_simulator_equivalence.py`` asserts
 the two produce bit-for-bit identical schedules.
@@ -62,6 +81,7 @@ from repro.core.lookup import LookupTable
 from repro.core.metrics import SimulationMetrics, compute_metrics
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.system import SystemConfig
+from repro.core.topology import ContentionManager
 from repro.core.trace import StateTrace
 from repro.graphs.dfg import DFG
 from repro.policies.base import (
@@ -202,6 +222,18 @@ class Simulator:
     ) -> None:
         if exec_noise_sigma < 0:
             raise ValueError("exec_noise_sigma must be >= 0")
+        topo = system.topology
+        if (
+            topo is not None
+            and topo.contended
+            and transfers_enabled
+            and transfer_mode != "single"
+        ):
+            raise ValueError(
+                "contended topologies model one concurrent flow per "
+                "predecessor source, which is the 'single' (max) transfer "
+                f"mode; transfer_mode={transfer_mode!r} is not supported"
+            )
         # CostModel validates transfer_mode and element_size.
         self.cost = CostModel(
             system,
@@ -325,6 +357,28 @@ class Simulator:
                 events.push(Event(t, EventKind.KERNEL_READY, payload=(kid, None)))
         noise = self._noise_factors(dfg)
 
+        # Contended-transfer state (only for contention-enabled topologies;
+        # every other configuration keeps the fixed-charge path below,
+        # byte-for-byte unchanged).  ``pending_transfers`` tracks kernels
+        # whose inbound flows are in flight: [flows_left, processor,
+        # exec_time, transfer_start].
+        topo = system.topology
+        contended = (
+            topo is not None and topo.contended and self.transfers_enabled
+        )
+        cman = ContentionManager(topo) if contended else None
+        pending_transfers: dict[int, list] = {}
+
+        def push_flow_estimates(estimates) -> None:
+            for est in estimates:
+                events.push(
+                    Event(
+                        est.finish_time,
+                        EventKind.TRANSFER_COMPLETE,
+                        payload=(est.key, est.version),
+                    )
+                )
+
         # Incrementally-maintained processor views: the live dict handed to
         # every context.  A view is rebuilt only when its processor's state
         # changes (``refresh_view`` on each mutation) or when the clock
@@ -385,6 +439,32 @@ class Simulator:
             exec_time = cost.exec_time(
                 spec.kernel, spec.data_size, system[name].ptype
             ) * noise.get(kid, 1.0)
+            if contended and transfer > 0.0:
+                # One flow per distinct source processor; the kernel
+                # computes when the last flow finishes.  free_at holds the
+                # uncontended estimate until then.
+                nbytes = spec.data_size * cost.element_size
+                sources = cost.transfer_flow_sources(
+                    preds_of[kid], assignment_of, name, nbytes
+                )
+                st.running = kid
+                st.free_at = now + transfer + exec_time
+                refresh_view(name)
+                exec_history[name].append(exec_time)
+                pending_transfers[kid] = [len(sources), name, exec_time, now]
+                for src in sources:
+                    route = topo.route(src, name)
+                    if route.latency_ms > 0.0:
+                        events.push(
+                            Event(
+                                now + route.latency_ms,
+                                EventKind.TRANSFER_START,
+                                payload=((kid, src), nbytes),
+                            )
+                        )
+                    else:
+                        push_flow_estimates(cman.join((kid, src), route, nbytes, now))
+                return True
             transfer_start = now
             exec_start = now + transfer
             finish = exec_start + exec_time
@@ -484,6 +564,52 @@ class Simulator:
                         refresh_view(vname)
             for ev in batch:
                 now = ev.time
+                if ev.kind is EventKind.TRANSFER_START:
+                    # a flow's route latency elapsed: it starts draining
+                    (kid, src), nbytes = ev.payload
+                    route = topo.route(src, pending_transfers[kid][1])
+                    push_flow_estimates(cman.join((kid, src), route, nbytes, now))
+                    continue
+                if ev.kind is EventKind.TRANSFER_COMPLETE:
+                    key, version = ev.payload
+                    estimates = cman.complete(key, version, now)
+                    if estimates is None:
+                        continue  # stale: a reshare superseded this event
+                    push_flow_estimates(estimates)
+                    kid = key[0]
+                    pending = pending_transfers[kid]
+                    pending[0] -= 1
+                    if pending[0] > 0:
+                        continue
+                    # last inbound flow done: the kernel computes now
+                    _, name, exec_time, transfer_start = pending
+                    del pending_transfers[kid]
+                    st = procs[name]
+                    finish = now + exec_time
+                    st.free_at = finish
+                    refresh_view(name)
+                    state_version += 1
+                    spec = specs[kid]
+                    schedule.add(
+                        ScheduleEntry(
+                            kernel_id=kid,
+                            kernel=spec.kernel,
+                            data_size=spec.data_size,
+                            processor=name,
+                            ptype=system[name].ptype.value,
+                            ready_time=ready_time[kid],
+                            assign_time=assign_time[kid],
+                            transfer_start=transfer_start,
+                            exec_start=now,
+                            finish_time=finish,
+                            used_alternative=is_alternative.get(kid, False),
+                            arrival_time=arrival_of[kid],
+                        )
+                    )
+                    events.push(
+                        Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name))
+                    )
+                    continue
                 kid, name = ev.payload
                 if ev.kind is EventKind.KERNEL_READY:
                     # streaming arrival: the kernel enters the system now

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator, Mapping
 
+from repro.core.topology import Route, Topology, validate_rate
+
 
 class ProcessorType(str, Enum):
     """Category of a hardware platform.
@@ -71,8 +73,7 @@ class Link:
     rate_gbps: float
 
     def __post_init__(self) -> None:
-        if self.rate_gbps <= 0:
-            raise ValueError(f"link rate must be positive, got {self.rate_gbps}")
+        validate_rate(self.rate_gbps, f"link rate {self.src}->{self.dst}")
 
     def transfer_time_ms(self, nbytes: float) -> float:
         """Time in milliseconds to move ``nbytes`` across this link."""
@@ -94,6 +95,19 @@ class SystemConfig:
         pairs.  Links are treated as symmetric: an override for
         ``("a", "b")`` also applies to ``("b", "a")`` unless that direction
         has its own entry.
+    topology:
+        Optional explicit interconnect graph
+        (:class:`~repro.core.topology.Topology`).  When given, transfer
+        times follow the topology's precomputed routes (bottleneck
+        bandwidth + summed latency) instead of the flat per-pair table,
+        and ``link_overrides`` must be empty (per-pair rates belong to
+        the flat model; shape per-edge rates in the topology instead).
+        A uniform zero-latency star reproduces the flat table
+        bit-for-bit.
+
+    All rates — the default, the per-pair overrides and the topology's
+    edges — are validated by the same rule: positive, not NaN
+    (``inf`` is allowed, meaning "never the bottleneck").
     """
 
     def __init__(
@@ -101,6 +115,7 @@ class SystemConfig:
         processors: Iterable[Processor],
         transfer_rate_gbps: float = 4.0,
         link_overrides: Mapping[tuple[str, str], float] | None = None,
+        topology: Topology | None = None,
     ) -> None:
         self._processors: tuple[Processor, ...] = tuple(processors)
         if not self._processors:
@@ -108,17 +123,25 @@ class SystemConfig:
         names = [p.name for p in self._processors]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate processor names: {names}")
-        if transfer_rate_gbps <= 0:
-            raise ValueError("transfer_rate_gbps must be positive")
-        self._default_rate = float(transfer_rate_gbps)
+        self._default_rate = validate_rate(transfer_rate_gbps, "transfer_rate_gbps")
         self._by_name = {p.name: p for p in self._processors}
         self._overrides: dict[tuple[str, str], float] = {}
+        if topology is not None and link_overrides:
+            raise ValueError(
+                "link_overrides and topology are mutually exclusive: "
+                "express per-link rates as topology edges"
+            )
         for (a, b), rate in (link_overrides or {}).items():
             if a not in self._by_name or b not in self._by_name:
                 raise KeyError(f"link override references unknown processor: {(a, b)}")
-            if rate <= 0:
-                raise ValueError(f"link rate must be positive for {(a, b)}")
-            self._overrides[(a, b)] = float(rate)
+            self._overrides[(a, b)] = validate_rate(rate, f"link rate for {(a, b)}")
+        self.topology = topology
+        if topology is not None and set(topology.processor_nodes) != set(names):
+            raise ValueError(
+                "topology processor nodes must match the system's processors: "
+                f"topology has {sorted(topology.processor_nodes)}, "
+                f"system has {sorted(names)}"
+            )
         # Immutable after construction, so category queries can be
         # precomputed — of_type() sits in policy hot paths (APT's
         # findBestProc runs once per ready kernel per invocation).
@@ -134,17 +157,31 @@ class SystemConfig:
         # price every candidate assignment) — precompute the effective
         # bytes-per-ms divisor for every ordered pair so the query is one
         # dict hit and one division, with bit-identical arithmetic to
-        # Link.transfer_time_ms.
+        # Link.transfer_time_ms.  Topology systems use the route's
+        # bottleneck bandwidth as the divisor (same arithmetic, so a
+        # uniform star equals the flat table bit-for-bit) plus a latency
+        # table, populated only when some route actually has latency —
+        # the flat hot path stays one dict hit and one division.
         self._rate_divisor: dict[tuple[str, str], float] = {}
-        for a in self._processors:
-            for b in self._processors:
-                if a.name == b.name:
-                    continue
-                rate = self._overrides.get(
-                    (a.name, b.name),
-                    self._overrides.get((b.name, a.name), self._default_rate),
-                )
-                self._rate_divisor[(a.name, b.name)] = rate * 1e6
+        self._latency: dict[tuple[str, str], float] | None = None
+        if topology is None:
+            for a in self._processors:
+                for b in self._processors:
+                    if a.name == b.name:
+                        continue
+                    rate = self._overrides.get(
+                        (a.name, b.name),
+                        self._overrides.get((b.name, a.name), self._default_rate),
+                    )
+                    self._rate_divisor[(a.name, b.name)] = rate * 1e6
+        else:
+            latency: dict[tuple[str, str], float] = {}
+            for route in topology.routes():
+                pair = (route.src, route.dst)
+                self._rate_divisor[pair] = route.bottleneck_gbps * 1e6
+                latency[pair] = route.latency_ms
+            if any(latency.values()):
+                self._latency = latency
 
     # ------------------------------------------------------------------
     # introspection
@@ -187,33 +224,59 @@ class SystemConfig:
     # interconnect
     # ------------------------------------------------------------------
     def link(self, src: str, dst: str) -> Link:
-        """The link between two (distinct) processors."""
+        """The (effective) link between two distinct processors.
+
+        For topology systems this is the route collapsed to a
+        point-to-point link at its bottleneck rate — useful for
+        summaries; the per-hop structure lives on :attr:`topology`.
+        """
         if src not in self._by_name or dst not in self._by_name:
             raise KeyError(f"unknown processor in link query: {(src, dst)}")
+        if self.topology is not None:
+            return Link(src, dst, self.topology.route(src, dst).bottleneck_gbps)
         rate = self._overrides.get(
             (src, dst), self._overrides.get((dst, src), self._default_rate)
         )
         return Link(src, dst, rate)
 
+    def route(self, src: str, dst: str) -> "Route | None":
+        """The topology route between two processors; ``None`` on flat systems."""
+        if self.topology is None:
+            return None
+        return self.topology.route(src, dst)
+
     def transfer_time_ms(self, src: str, dst: str, nbytes: float) -> float:
         """Milliseconds to move ``nbytes`` from ``src`` to ``dst``.
 
         Transfers within a single device are free — the data is already
-        resident in that device's memory.
+        resident in that device's memory.  Topology systems charge the
+        route's bottleneck time plus its latency (uncontended; the
+        simulator layers contention on top when the topology asks for
+        it).
         """
         if src == dst:
             return 0.0
         divisor = self._rate_divisor.get((src, dst))
         if divisor is None:
             raise KeyError(f"unknown processor in link query: {(src, dst)}")
-        return nbytes / divisor
+        t = nbytes / divisor
+        if self._latency is None:
+            return t
+        return t + self._latency[(src, dst)]
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
         """Human-readable one-line-per-processor summary."""
-        lines = [f"SystemConfig ({len(self)} processors, {self._default_rate} GB/s links)"]
+        interconnect = (
+            f"topology {self.topology.name!r}"
+            if self.topology is not None
+            else f"{self._default_rate} GB/s links"
+        )
+        lines = [f"SystemConfig ({len(self)} processors, {interconnect})"]
         for p in self._processors:
             lines.append(f"  {p.name:<10s} [{p.ptype}]")
+        if self.topology is not None:
+            lines.append(self.topology.describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,612 @@
+"""Interconnect topologies: graphs of processors, switches and links.
+
+The paper's system model (§3.2, Figure 1) joins every processor pair
+with a flat-rate PCIe-style link; :class:`~repro.core.system.
+SystemConfig` historically hard-coded exactly that shape.  This module
+generalizes the interconnect to an explicit graph:
+
+* **nodes** are processors or switches,
+* **edges** carry a bandwidth (GB/s, ``inf`` allowed), a propagation
+  latency (ms) and an optional *shared-medium* label,
+* **routes** between every processor pair are precomputed once
+  (deterministic shortest path), and
+* concurrent transfers crossing a shared channel **contend** for its
+  bandwidth under an equal-share discipline, recomputed at transfer
+  start/finish events by the simulator's event loop.
+
+Transfer-time model
+-------------------
+The uncontended time to move ``nbytes`` from ``src`` to ``dst`` is::
+
+    route.latency_ms + nbytes / (route.bottleneck_gbps * 1e6)
+
+i.e. cut-through switching: the route is as fast as its slowest channel,
+plus the summed propagation latency of its hops.  A **star** topology
+whose per-processor edges all run at rate *r* (with a zero-latency,
+infinite-capacity switch at the hub) therefore reproduces the flat
+``SystemConfig`` link table **bit-for-bit** — the arithmetic is the same
+``nbytes / (r * 1e6)`` division (see :func:`star_topology` and
+``tests/test_simulator_equivalence.py``).
+
+Contention model
+----------------
+Edges are grouped into **channels**: by default each edge is its own
+channel; edges sharing a ``medium`` label form one channel (a bus).  A
+flow's instantaneous rate is::
+
+    min over its channels c of  bandwidth(c) / n_flows(c)
+
+— equal-share per channel, bottlenecked across the route.  Shares are
+recomputed only when a flow joins or leaves (transfer start/finish);
+between recomputations every flow drains at a constant rate, which keeps
+the simulation event-driven and bit-for-bit deterministic.  Route
+latency is charged up front (the flow joins the draining pool after its
+latency elapses), so a flow that never shares a channel takes exactly
+the uncontended time.
+
+This is deliberately *not* max-min fairness: a flow bottlenecked
+elsewhere still counts against its other channels' shares.  The simpler
+discipline is deterministic, cheap to recompute (O(flows × route
+length)) and errs pessimistic — documented in docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+def validate_rate(value: float, what: str) -> float:
+    """Validate a bandwidth/rate value: positive and not NaN.
+
+    ``inf`` is accepted — infinite-capacity channels are how star hubs
+    model "the switch is never the bottleneck".  Shared by
+    :class:`~repro.core.system.Link`, :class:`~repro.core.system.
+    SystemConfig` and :class:`TopoLink`, so every rate in the system is
+    vetted by the same rule.
+    """
+    rate = float(value)
+    if math.isnan(rate) or rate <= 0:
+        raise ValueError(f"{what} must be a positive number, got {value!r}")
+    return rate
+
+
+@dataclass(frozen=True)
+class TopoLink:
+    """One bidirectional interconnect edge.
+
+    ``medium`` groups edges into a shared channel: all edges carrying the
+    same label contend as one bus (they must then agree on bandwidth).
+    ``None`` (default) gives the edge a private channel.
+    """
+
+    a: str
+    b: str
+    bandwidth_gbps: float
+    latency_ms: float = 0.0
+    medium: str | None = None
+
+    def __post_init__(self) -> None:
+        validate_rate(self.bandwidth_gbps, f"link bandwidth {self.a}<->{self.b}")
+        if math.isnan(self.latency_ms) or self.latency_ms < 0:
+            raise ValueError(
+                f"link latency must be >= 0, got {self.latency_ms} "
+                f"for {self.a}<->{self.b}"
+            )
+        if self.a == self.b:
+            raise ValueError(f"self-link on node {self.a!r}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """A precomputed processor-to-processor path.
+
+    ``channels`` are the contention-channel indices the route crosses
+    (deduplicated — a bus traversed on both the source and destination
+    hop counts once).
+    """
+
+    src: str
+    dst: str
+    hops: tuple[str, ...]
+    channels: tuple[int, ...]
+    bottleneck_gbps: float
+    latency_ms: float
+
+    def transfer_time_ms(self, nbytes: float) -> float:
+        """Uncontended transfer time over this route."""
+        return self.latency_ms + nbytes / (self.bottleneck_gbps * 1e6)
+
+
+class Topology:
+    """An interconnect graph with precomputed processor-pair routes.
+
+    Parameters
+    ----------
+    links:
+        The edges.  Node names are inferred from the endpoints.
+    switches:
+        Names of the nodes that are switches (route-through only).
+        Every other node is a processor endpoint.
+    contention:
+        When true, the simulator models bandwidth contention on shared
+        channels (transfers become first-class events).  When false the
+        topology only shapes *uncontended* route costs — the flat-model
+        semantics, required for bit-for-bit equivalence with the legacy
+        link table.
+    name:
+        Identifier used by ``describe()`` and serialization.  Part of
+        the topology's serialized identity: like a DFG's name, it enters
+        the sweep-cache content hash, so renaming a topology invalidates
+        cached results for it.
+    """
+
+    def __init__(
+        self,
+        links: Iterable[TopoLink],
+        switches: Iterable[str] = (),
+        contention: bool = False,
+        name: str = "topology",
+    ) -> None:
+        self.links: tuple[TopoLink, ...] = tuple(links)
+        if not self.links:
+            raise ValueError("a topology needs at least one link")
+        self.switches: frozenset[str] = frozenset(switches)
+        self.contended = bool(contention)
+        self.name = str(name)
+
+        nodes: set[str] = set()
+        seen_pairs: set[tuple[str, str]] = set()
+        for link in self.links:
+            pair = (min(link.a, link.b), max(link.a, link.b))
+            if pair in seen_pairs:
+                raise ValueError(f"duplicate link between {link.a!r} and {link.b!r}")
+            seen_pairs.add(pair)
+            nodes.update(pair)
+        missing = self.switches - nodes
+        if missing:
+            raise ValueError(f"switch nodes without any link: {sorted(missing)}")
+        self.nodes: tuple[str, ...] = tuple(sorted(nodes))
+        self.processor_nodes: tuple[str, ...] = tuple(
+            n for n in self.nodes if n not in self.switches
+        )
+        if not self.processor_nodes:
+            raise ValueError("a topology needs at least one processor node")
+
+        # contention channels: one per edge, merged across a shared medium
+        self._channel_of_link: list[int] = []
+        channel_bw: list[float] = []
+        medium_channel: dict[str, int] = {}
+        for link in self.links:
+            if link.medium is None:
+                self._channel_of_link.append(len(channel_bw))
+                channel_bw.append(link.bandwidth_gbps)
+            else:
+                ch = medium_channel.get(link.medium)
+                if ch is None:
+                    ch = len(channel_bw)
+                    medium_channel[link.medium] = ch
+                    channel_bw.append(link.bandwidth_gbps)
+                elif channel_bw[ch] != link.bandwidth_gbps:
+                    raise ValueError(
+                        f"links on shared medium {link.medium!r} disagree on "
+                        f"bandwidth: {channel_bw[ch]} vs {link.bandwidth_gbps}"
+                    )
+                self._channel_of_link.append(ch)
+        self.channel_bandwidths_gbps: tuple[float, ...] = tuple(channel_bw)
+
+        # adjacency: node -> sorted [(neighbor, link index)]
+        adj: dict[str, list[tuple[str, int]]] = {n: [] for n in self.nodes}
+        for i, link in enumerate(self.links):
+            adj[link.a].append((link.b, i))
+            adj[link.b].append((link.a, i))
+        for n in adj:
+            adj[n].sort()
+        self._adj = adj
+
+        self._routes: dict[tuple[str, str], Route] = {}
+        for src in self.processor_nodes:
+            self._precompute_routes_from(src)
+
+    # ------------------------------------------------------------------
+    def _precompute_routes_from(self, src: str) -> None:
+        """Deterministic BFS (fewest hops, lexicographic tie-break)."""
+        parent: dict[str, tuple[str, int]] = {}
+        visited = {src}
+        frontier = [src]
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for neighbor, link_idx in self._adj[node]:
+                    if neighbor in visited:
+                        continue
+                    visited.add(neighbor)
+                    parent[neighbor] = (node, link_idx)
+                    nxt.append(neighbor)
+            frontier = nxt
+        for dst in self.processor_nodes:
+            if dst == src:
+                continue
+            if dst not in visited:
+                raise ValueError(
+                    f"topology is disconnected: no route {src!r} -> {dst!r}"
+                )
+            hops = [dst]
+            link_ids: list[int] = []
+            node = dst
+            while node != src:
+                node, link_idx = parent[node]
+                hops.append(node)
+                link_ids.append(link_idx)
+            hops.reverse()
+            link_ids.reverse()
+            channels: list[int] = []
+            for i in link_ids:
+                ch = self._channel_of_link[i]
+                if ch not in channels:
+                    channels.append(ch)
+            self._routes[(src, dst)] = Route(
+                src=src,
+                dst=dst,
+                hops=tuple(hops),
+                channels=tuple(channels),
+                bottleneck_gbps=min(self.links[i].bandwidth_gbps for i in link_ids),
+                latency_ms=math.fsum(self.links[i].latency_ms for i in link_ids),
+            )
+
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        """The precomputed route between two (distinct) processors."""
+        route = self._routes.get((src, dst))
+        if route is None:
+            raise KeyError(f"no route between processors {(src, dst)}")
+        return route
+
+    def routes(self) -> Iterator[Route]:
+        """All precomputed processor-pair routes (sorted by endpoints)."""
+        for key in sorted(self._routes):
+            yield self._routes[key]
+
+    def transfer_time_ms(self, src: str, dst: str, nbytes: float) -> float:
+        """Uncontended transfer time; same-node transfers are free."""
+        if src == dst:
+            return 0.0
+        return self.route(src, dst).transfer_time_ms(nbytes)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable summary: nodes, then one line per link."""
+        kind = "contended" if self.contended else "uncontended"
+        lines = [
+            f"Topology {self.name!r} ({kind}): "
+            f"{len(self.processor_nodes)} processors, "
+            f"{len(self.switches)} switches, {len(self.links)} links"
+        ]
+        for link in self.links:
+            bw = "inf" if math.isinf(link.bandwidth_gbps) else f"{link.bandwidth_gbps:g}"
+            extra = f" [{link.medium}]" if link.medium else ""
+            lines.append(
+                f"  {link.a} <-> {link.b}  {bw} GB/s"
+                + (f" +{link.latency_ms:g} ms" if link.latency_ms else "")
+                + extra
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, {len(self.processor_nodes)} procs, "
+            f"{len(self.links)} links, contended={self.contended})"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (JSON/YAML-lite dicts; inf encodes as the string "inf")
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "contention": self.contended,
+            "switches": sorted(self.switches),
+            "links": [
+                [
+                    link.a,
+                    link.b,
+                    "inf" if math.isinf(link.bandwidth_gbps) else link.bandwidth_gbps,
+                    link.latency_ms,
+                    link.medium,
+                ]
+                for link in self.links
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Topology":
+        links = [
+            TopoLink(
+                a=str(a),
+                b=str(b),
+                bandwidth_gbps=math.inf if bw == "inf" else float(bw),
+                latency_ms=float(lat),
+                medium=str(medium) if medium is not None else None,
+            )
+            for a, b, bw, lat, medium in data["links"]  # type: ignore[union-attr]
+        ]
+        return cls(
+            links,
+            switches=[str(s) for s in data.get("switches", ())],  # type: ignore[union-attr]
+            contention=bool(data.get("contention", False)),
+            name=str(data.get("name", "topology")),
+        )
+
+
+# ----------------------------------------------------------------------
+# topology cookbook (see docs/scenarios.md for diagrams)
+# ----------------------------------------------------------------------
+def star_topology(
+    processors: Sequence[str],
+    rate_gbps: float = 4.0,
+    switch: str = "hub",
+    per_processor_gbps: Mapping[str, float] | None = None,
+    contention: bool = False,
+    name: str = "star",
+) -> Topology:
+    """Every processor on its own link to one infinite-capacity hub.
+
+    With a uniform ``rate_gbps`` and contention off this is the paper's
+    flat link table, exactly: every route's bottleneck is the shared
+    rate, so ``transfer_time_ms`` is bit-for-bit the flat division.
+    """
+    overrides = dict(per_processor_gbps or {})
+    unknown = set(overrides) - set(processors)
+    if unknown:
+        raise ValueError(f"per-processor rate for unknown processor: {sorted(unknown)}")
+    links = [
+        TopoLink(p, switch, overrides.get(p, rate_gbps)) for p in processors
+    ]
+    return Topology(links, switches=[switch], contention=contention, name=name)
+
+
+def tree_topology(
+    groups: Mapping[str, Sequence[str]],
+    leaf_gbps: float = 4.0,
+    uplink_gbps: float = 8.0,
+    root: str = "root",
+    contention: bool = True,
+    name: str = "tree",
+) -> Topology:
+    """A two-level switch tree: leaf switches with uplinks to one root.
+
+    ``groups`` maps each leaf-switch name to the processors below it —
+    the dual-socket PCIe-switch shape: intra-group transfers stay on the
+    leaf, cross-group transfers share the uplinks.
+    """
+    links: list[TopoLink] = []
+    switches: list[str] = [root]
+    for leaf, procs in groups.items():
+        if not procs:
+            raise ValueError(f"leaf switch {leaf!r} has no processors")
+        switches.append(leaf)
+        links.extend(TopoLink(p, leaf, leaf_gbps) for p in procs)
+        links.append(TopoLink(leaf, root, uplink_gbps))
+    return Topology(links, switches=switches, contention=contention, name=name)
+
+
+def mesh_topology(
+    mesh_processors: Sequence[str],
+    mesh_gbps: float = 25.0,
+    hub_processors: Sequence[str] = (),
+    hub_gbps: float = 4.0,
+    switch: str = "pcie",
+    contention: bool = True,
+    name: str = "mesh",
+) -> Topology:
+    """An all-to-all high-bandwidth mesh plus a slower hub for the rest.
+
+    The NVLink-style shape: GPUs (``mesh_processors``) get direct
+    point-to-point links; other devices (``hub_processors``, e.g. the
+    host CPU) reach the mesh through a conventional PCIe-style star.
+    """
+    if len(mesh_processors) < 2:
+        raise ValueError("a mesh needs at least two processors")
+    links = [
+        TopoLink(a, b, mesh_gbps)
+        for i, a in enumerate(mesh_processors)
+        for b in mesh_processors[i + 1 :]
+    ]
+    switches: list[str] = []
+    if hub_processors:
+        switches.append(switch)
+        links.extend(TopoLink(p, switch, hub_gbps) for p in hub_processors)
+        # the mesh reaches the hub through its first member's PCIe port
+        links.append(TopoLink(mesh_processors[0], switch, hub_gbps))
+    return Topology(links, switches=switches, contention=contention, name=name)
+
+
+def bus_topology(
+    processors: Sequence[str],
+    bus_gbps: float = 1.0,
+    latency_ms: float = 0.0,
+    bus: str = "bus",
+    contention: bool = True,
+    name: str = "bus",
+) -> Topology:
+    """A single shared medium: every concurrent transfer contends.
+
+    All edges carry the same ``medium`` label, so they form **one**
+    contention channel — two transfers anywhere on the bus halve each
+    other's bandwidth.  The edge-cluster shape.
+    """
+    links = [
+        TopoLink(p, bus, bus_gbps, latency_ms=latency_ms, medium=name)
+        for p in processors
+    ]
+    return Topology(links, switches=[bus], contention=contention, name=name)
+
+
+def fat_tree_topology(
+    processors: Sequence[str],
+    leaf_size: int = 3,
+    edge_gbps: float = 8.0,
+    uplink_gbps: float = 16.0,
+    contention: bool = True,
+    name: str = "fat_tree",
+) -> Topology:
+    """Leaf switches of ``leaf_size`` processors with fat uplinks to a root.
+
+    The classic fat-tree property — aggregate uplink capacity grows
+    toward the root — is approximated with one uplink per leaf at
+    ``uplink_gbps`` ≥ ``edge_gbps``.
+    """
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be >= 1")
+    groups = {
+        f"leaf{i}": list(processors[start : start + leaf_size])
+        for i, start in enumerate(range(0, len(processors), leaf_size))
+    }
+    return tree_topology(
+        groups,
+        leaf_gbps=edge_gbps,
+        uplink_gbps=uplink_gbps,
+        contention=contention,
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# contention bookkeeping (driven by the simulator's event loop)
+# ----------------------------------------------------------------------
+@dataclass
+class _Flow:
+    """One in-flight transfer draining over a fixed set of channels."""
+
+    channels: tuple[int, ...]
+    remaining_bytes: float
+    rate_bytes_per_ms: float = 0.0
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class FlowEstimate:
+    """A (re)scheduled completion estimate for one flow."""
+
+    key: object
+    finish_time: float
+    version: int
+
+
+@dataclass
+class ContentionManager:
+    """Equal-share bandwidth bookkeeping for in-flight transfers.
+
+    The simulator calls :meth:`join` when a transfer starts draining and
+    :meth:`complete` when its completion event fires; both return fresh
+    :class:`FlowEstimate` items for *every* affected flow, which the
+    caller turns into (versioned) ``TRANSFER_COMPLETE`` events.  An
+    event whose version no longer matches the flow's is stale and must
+    be ignored — rates changed and a newer event supersedes it.
+
+    All arithmetic is plain float bookkeeping driven by event
+    timestamps, so runs remain bit-for-bit deterministic.
+    """
+
+    topology: Topology
+    _flows: dict[object, _Flow] = field(default_factory=dict)
+    _channel_load: dict[int, int] = field(default_factory=dict)
+    _channel_bw: tuple[float, ...] = ()
+    _last_update: float = 0.0
+
+    def __post_init__(self) -> None:
+        # channel bandwidths in bytes/ms (inf stays inf)
+        self._channel_bw = tuple(
+            bw * 1e6 for bw in self.topology.channel_bandwidths_gbps
+        )
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._flows
+
+    # ------------------------------------------------------------------
+    def join(self, key: object, route: Route, nbytes: float, now: float) -> list[FlowEstimate]:
+        """Start draining a flow of ``nbytes`` over ``route`` at ``now``."""
+        if key in self._flows:
+            raise ValueError(f"flow {key!r} already in flight")
+        self._advance(now)
+        self._flows[key] = _Flow(channels=route.channels, remaining_bytes=float(nbytes))
+        for ch in route.channels:
+            self._channel_load[ch] = self._channel_load.get(ch, 0) + 1
+        return self._reshare(now)
+
+    def complete(self, key: object, version: int, now: float) -> list[FlowEstimate] | None:
+        """Handle a completion event; ``None`` means the event was stale."""
+        flow = self._flows.get(key)
+        if flow is None or flow.version != version:
+            return None
+        self._advance(now)
+        del self._flows[key]
+        for ch in flow.channels:
+            load = self._channel_load[ch] - 1
+            if load:
+                self._channel_load[ch] = load
+            else:
+                del self._channel_load[ch]
+        return self._reshare(now)
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Drain every flow at its current rate up to ``now``."""
+        dt = now - self._last_update
+        if dt > 0.0:
+            for flow in self._flows.values():
+                if math.isinf(flow.rate_bytes_per_ms):
+                    flow.remaining_bytes = 0.0
+                else:
+                    drained = flow.rate_bytes_per_ms * dt
+                    flow.remaining_bytes = (
+                        flow.remaining_bytes - drained
+                        if drained < flow.remaining_bytes
+                        else 0.0
+                    )
+        self._last_update = now
+
+    def _reshare(self, now: float) -> list[FlowEstimate]:
+        """Recompute equal shares; return fresh estimates for changed flows.
+
+        A flow whose recomputed rate equals its current one is left
+        untouched — its already-scheduled completion event is still
+        exact (constant-rate draining), so re-pushing it would only pile
+        stale events onto the queue.  Each join/leave therefore disturbs
+        only the flows sharing a channel with it, not every flow in
+        flight.
+        """
+        estimates: list[FlowEstimate] = []
+        for key, flow in self._flows.items():
+            rate = min(
+                self._channel_bw[ch] / self._channel_load[ch] for ch in flow.channels
+            )
+            if rate == flow.rate_bytes_per_ms:
+                continue
+            flow.rate_bytes_per_ms = rate
+            flow.version += 1
+            if math.isinf(rate) or flow.remaining_bytes <= 0.0:
+                finish = now
+            else:
+                finish = now + flow.remaining_bytes / rate
+            estimates.append(FlowEstimate(key=key, finish_time=finish, version=flow.version))
+        return estimates
+
+
+__all__ = [
+    "ContentionManager",
+    "FlowEstimate",
+    "Route",
+    "TopoLink",
+    "Topology",
+    "bus_topology",
+    "fat_tree_topology",
+    "mesh_topology",
+    "star_topology",
+    "tree_topology",
+    "validate_rate",
+]

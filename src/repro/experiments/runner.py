@@ -133,12 +133,19 @@ class ExperimentRunner:
         settings: SimSettings | None = None,
         arrivals: Mapping[int, float] | None = None,
         tag: Mapping[str, object] | None = None,
+        system: SystemConfig | None = None,
     ) -> SweepJob:
-        """A fully serialized engine job with this runner's defaults."""
+        """A fully serialized engine job with this runner's defaults.
+
+        ``system`` overrides the default flat platform — the hook for
+        topology-shaped systems (scenarios build theirs from
+        :class:`~repro.experiments.scenarios.ScenarioSpec`); ``rate_gbps``
+        is then ignored.
+        """
         return make_job(
             dfg,
             spec,
-            self.system_for(rate_gbps),
+            system if system is not None else self.system_for(rate_gbps),
             self.lookup,
             settings=settings if settings is not None else self.settings(),
             arrivals=arrivals,

@@ -1,0 +1,430 @@
+"""Declarative scenario registry: system topology × workload × policy grid.
+
+A **scenario** bundles everything one experiment needs — the hardware
+platform (including its interconnect :class:`~repro.core.topology.
+Topology`), a declaratively-named workload, the policy grid and the
+simulation settings — into one serializable :class:`ScenarioSpec`.
+Specs are plain dataclasses of JSON-safe parts (``to_dict`` /
+``from_dict`` round-trip), so a scenario can live in a config file, a
+cache key or a CLI invocation equally well.
+
+The module ships a catalog of registered scenarios (the paper suites on
+their star-topology equivalent, a dual-socket PCIe switch tree, an
+NVLink-style GPU mesh, an edge cluster on a shared bus, and a 10k-kernel
+stream on a 12-processor fat tree) and :func:`run_scenario`, which
+expands a spec into :class:`~repro.experiments.sweep.SweepJob` items and
+executes them through the cached sweep engine — so re-running a scenario
+only simulates what changed.
+
+Authoring guide with a topology cookbook: ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.core.lookup import LookupTable
+from repro.core.system import CPU_GPU_FPGA, Processor, ProcessorType, SystemConfig
+from repro.core.topology import (
+    bus_topology,
+    fat_tree_topology,
+    mesh_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.data.paper_tables import paper_lookup_table
+from repro.experiments.report import TableResult
+from repro.experiments.sweep import (
+    JobResult,
+    PolicySpec,
+    SimSettings,
+    SweepEngine,
+    SweepJob,
+    make_job,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.experiments.workloads import DEFAULT_SEED, build_workload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declaratively-named workload: a kind plus sorted parameters.
+
+    ``kind`` indexes :data:`~repro.experiments.workloads.WORKLOAD_KINDS`;
+    ``params`` is a sorted tuple of (key, value) pairs so specs are
+    order-insensitive and JSON-stable (the same convention as
+    :class:`~repro.experiments.sweep.PolicySpec`).
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, **params: object) -> "WorkloadSpec":
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def build(self):
+        """Materialize the workload: a list of ``(DFG, arrivals)`` units."""
+        return build_workload(self.kind, **dict(self.params))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+        return cls.of(str(data["kind"]), **dict(data.get("params") or {}))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment scenario.
+
+    ``system`` is the :func:`~repro.experiments.sweep.system_to_dict`
+    form of the platform (processors, flat rate, optional topology) —
+    already the serialization the sweep engine hashes, so the scenario's
+    platform enters every job's cache key unchanged.
+    """
+
+    name: str
+    description: str
+    system: Mapping[str, object]
+    workload: WorkloadSpec
+    policies: tuple[PolicySpec, ...]
+    settings: SimSettings = field(default_factory=SimSettings)
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError(f"scenario {self.name!r} has an empty policy grid")
+
+    # ------------------------------------------------------------------
+    def build_system(self) -> SystemConfig:
+        return system_from_dict(self.system)
+
+    def jobs(self, lookup: LookupTable | None = None) -> list[SweepJob]:
+        """Expand the scenario into sweep jobs (policy-major, then DFG)."""
+        lookup = lookup if lookup is not None else paper_lookup_table()
+        system = self.build_system()
+        units = self.workload.build()
+        out: list[SweepJob] = []
+        for policy in self.policies:
+            for index, (dfg, arrivals) in enumerate(units):
+                out.append(
+                    make_job(
+                        dfg,
+                        policy,
+                        system,
+                        lookup,
+                        settings=self.settings,
+                        arrivals=arrivals,
+                        tag={
+                            "scenario": self.name,
+                            "policy": policy.name,
+                            "graph_index": index,
+                        },
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "system": dict(self.system),
+            "workload": self.workload.to_dict(),
+            "policies": [p.to_dict() for p in self.policies],
+            "settings": self.settings.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            system=dict(data["system"]),  # type: ignore[arg-type]
+            workload=WorkloadSpec.from_dict(data["workload"]),  # type: ignore[arg-type]
+            policies=tuple(
+                PolicySpec.from_dict(p) for p in data["policies"]  # type: ignore[union-attr]
+            ),
+            settings=SimSettings.from_dict(data["settings"]),  # type: ignore[arg-type]
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (the CLI's ``scenario show``)."""
+        lines = [
+            f"scenario : {self.name}",
+            f"  {self.description}",
+            f"workload : {self.workload.kind} {dict(self.workload.params)}",
+            f"policies : {', '.join(p.name for p in self.policies)}",
+        ]
+        lines.append(self.build_system().describe())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    factory: Callable[[], ScenarioSpec],
+) -> Callable[[], ScenarioSpec]:
+    """Register a scenario factory; the spec's ``name`` is the key.
+
+    Used as a decorator on a zero-argument function returning a
+    :class:`ScenarioSpec`.  The factory runs once at registration (specs
+    are cheap — workloads stay declarative until :func:`run_scenario`).
+    """
+    spec = factory()
+    if spec.name in _SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _SCENARIOS[spec.name] = spec
+    return factory
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """All registered scenario names, alphabetically."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    spec = _SCENARIOS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {list(available_scenarios())}"
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """A scenario's results, one :class:`JobResult` per (policy, DFG)."""
+
+    spec: ScenarioSpec
+    results: tuple[JobResult, ...]
+    policies: tuple[PolicySpec, ...]
+
+    def by_policy(self) -> dict[str, list[JobResult]]:
+        n = len(self.results) // len(self.policies)
+        return {
+            spec.name: list(self.results[i * n : (i + 1) * n])
+            for i, spec in enumerate(self.policies)
+        }
+
+    def table(self) -> TableResult:
+        """Mean makespan / λ / energy per policy, ready for rendering."""
+        rows = []
+        for name, results in self.by_policy().items():
+            n = len(results)
+            rows.append(
+                (
+                    name.upper(),
+                    n,
+                    sum(r.makespan for r in results) / n,
+                    sum(r.total_lambda for r in results) / n,
+                    sum(r.energy_joules for r in results) / n,
+                )
+            )
+        return TableResult(
+            title=f"Scenario {self.spec.name}",
+            headers=("Policy", "Graphs", "Makespan (ms)", "Total λ (ms)", "Energy (J)"),
+            rows=tuple(rows),
+            notes=self.spec.description,
+        )
+
+
+def run_scenario(
+    scenario: "str | ScenarioSpec",
+    engine: SweepEngine | None = None,
+    lookup: LookupTable | None = None,
+) -> ScenarioOutcome:
+    """Execute a scenario through the (cached, parallel) sweep engine."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    engine = engine if engine is not None else SweepEngine()
+    results = engine.run_jobs(spec.jobs(lookup))
+    return ScenarioOutcome(
+        spec=spec, results=tuple(results), policies=spec.policies
+    )
+
+
+# ----------------------------------------------------------------------
+# the shipped catalog
+# ----------------------------------------------------------------------
+def _system_dict(
+    processors: Iterable[Processor], topology, rate_gbps: float = 4.0
+) -> dict[str, object]:
+    return system_to_dict(
+        SystemConfig(list(processors), transfer_rate_gbps=rate_gbps, topology=topology)
+    )
+
+
+def _paper_star_scenario(dfg_type: int) -> ScenarioSpec:
+    # The paper's flat 4 GB/s link table, expressed as its star-topology
+    # equivalent: per-processor 4 GB/s edges into an infinite hub,
+    # contention off.  Bit-for-bit the flat numbers (asserted in
+    # tests/test_scenarios.py).
+    flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+    procs = list(flat)
+    topo = star_topology([p.name for p in procs], rate_gbps=4.0, name="paper_star")
+    return ScenarioSpec(
+        name=f"paper_type{dfg_type}",
+        description=(
+            f"The paper's Type-{dfg_type} evaluation suite on the flat "
+            "4 GB/s platform expressed as an equivalent star topology."
+        ),
+        system=_system_dict(procs, topo),
+        workload=WorkloadSpec.of("paper_suite", dfg_type=dfg_type, seed=DEFAULT_SEED),
+        policies=tuple(
+            PolicySpec.of(name, alpha=1.5) if name == "apt" else PolicySpec.of(name)
+            for name in ("apt", "met", "spn", "ss", "ag", "heft", "peft")
+        ),
+    )
+
+
+@register_scenario
+def paper_type1_scenario() -> ScenarioSpec:
+    return _paper_star_scenario(1)
+
+
+@register_scenario
+def paper_type2_scenario() -> ScenarioSpec:
+    return _paper_star_scenario(2)
+
+
+@register_scenario
+def dual_socket_tree_scenario() -> ScenarioSpec:
+    # Two PCIe switches (one per socket) with 8 GB/s leaf links and a
+    # 16 GB/s inter-socket uplink pair through the root complex.
+    procs = [
+        Processor("cpu0", ProcessorType.CPU),
+        Processor("gpu0", ProcessorType.GPU),
+        Processor("fpga0", ProcessorType.FPGA),
+        Processor("cpu1", ProcessorType.CPU),
+        Processor("gpu1", ProcessorType.GPU),
+        Processor("fpga1", ProcessorType.FPGA),
+    ]
+    topo = tree_topology(
+        {
+            "socket0": ["cpu0", "gpu0", "fpga0"],
+            "socket1": ["cpu1", "gpu1", "fpga1"],
+        },
+        leaf_gbps=8.0,
+        uplink_gbps=16.0,
+        contention=True,
+        name="dual_socket_tree",
+    )
+    return ScenarioSpec(
+        name="dual_socket_tree",
+        description=(
+            "Dual-socket PCIe-switch tree (2 CPUs + 2 GPUs + 2 FPGAs); "
+            "cross-socket transfers contend on the 16 GB/s uplinks."
+        ),
+        system=_system_dict(procs, topo),
+        workload=WorkloadSpec.of("paper_suite", dfg_type=1, seed=DEFAULT_SEED, n_graphs=4),
+        policies=(PolicySpec.of("apt", alpha=2.0), PolicySpec.of("met"), PolicySpec.of("heft")),
+    )
+
+
+@register_scenario
+def nvlink_mesh_scenario() -> ScenarioSpec:
+    # Four GPUs on a 25 GB/s all-to-all mesh; the host CPU and an FPGA
+    # reach them over a conventional 4 GB/s PCIe star.
+    procs = [
+        Processor("cpu0", ProcessorType.CPU),
+        Processor("gpu0", ProcessorType.GPU),
+        Processor("gpu1", ProcessorType.GPU),
+        Processor("gpu2", ProcessorType.GPU),
+        Processor("gpu3", ProcessorType.GPU),
+        Processor("fpga0", ProcessorType.FPGA),
+    ]
+    topo = mesh_topology(
+        ["gpu0", "gpu1", "gpu2", "gpu3"],
+        mesh_gbps=25.0,
+        hub_processors=["cpu0", "fpga0"],
+        hub_gbps=4.0,
+        contention=True,
+        name="nvlink_mesh",
+    )
+    return ScenarioSpec(
+        name="nvlink_mesh",
+        description=(
+            "NVLink-style 4-GPU mesh (25 GB/s point-to-point) with host "
+            "CPU and FPGA behind a 4 GB/s PCIe hub."
+        ),
+        system=_system_dict(procs, topo),
+        workload=WorkloadSpec.of("paper_suite", dfg_type=2, seed=DEFAULT_SEED, n_graphs=4),
+        policies=(PolicySpec.of("apt", alpha=4.0), PolicySpec.of("ss"), PolicySpec.of("heft")),
+    )
+
+
+@register_scenario
+def edge_cluster_bus_scenario() -> ScenarioSpec:
+    # Four embedded CPUs and one GPU sharing a 1 GB/s bus with 50 µs
+    # arbitration latency: every concurrent transfer contends with every
+    # other, the harshest interconnect in the catalog.
+    procs = [Processor(f"cpu{i}", ProcessorType.CPU) for i in range(4)]
+    procs.append(Processor("gpu0", ProcessorType.GPU))
+    topo = bus_topology(
+        [p.name for p in procs],
+        bus_gbps=1.0,
+        latency_ms=0.05,
+        contention=True,
+        name="edge_bus",
+    )
+    return ScenarioSpec(
+        name="edge_cluster_bus",
+        description=(
+            "Edge cluster: 4 CPUs + 1 GPU on a single shared 1 GB/s bus "
+            "(50 µs latency); all transfers contend on one channel."
+        ),
+        system=_system_dict(procs, topo),
+        workload=WorkloadSpec.of("pipeline", n_kernels=60, stage_width=4, seed=DEFAULT_SEED),
+        policies=(PolicySpec.of("apt", alpha=2.0), PolicySpec.of("olb"), PolicySpec.of("ag")),
+    )
+
+
+@register_scenario
+def fat_tree_streaming_scenario() -> ScenarioSpec:
+    # The PR 2 scale scenario on a real interconnect: 12 processors in a
+    # fat tree (leaves of 3 at 8 GB/s, 16 GB/s uplinks), streaming
+    # ~10k kernels of Poisson-arriving applications.
+    procs = (
+        [Processor(f"cpu{i}", ProcessorType.CPU) for i in range(4)]
+        + [Processor(f"gpu{i}", ProcessorType.GPU) for i in range(4)]
+        + [Processor(f"fpga{i}", ProcessorType.FPGA) for i in range(4)]
+    )
+    topo = fat_tree_topology(
+        [p.name for p in procs],
+        leaf_size=3,
+        edge_gbps=8.0,
+        uplink_gbps=16.0,
+        contention=True,
+        name="fat_tree_12",
+    )
+    return ScenarioSpec(
+        name="fat_tree_streaming",
+        description=(
+            "10k-kernel Poisson application stream on a 12-processor "
+            "fat tree (3-processor leaves at 8 GB/s, 16 GB/s uplinks)."
+        ),
+        system=_system_dict(procs, topo, rate_gbps=8.0),
+        workload=WorkloadSpec.of("streaming", n_kernels=10_000, seed=DEFAULT_SEED),
+        policies=(PolicySpec.of("apt", alpha=4.0), PolicySpec.of("met")),
+    )
+
+
+__all__ = [
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+]

@@ -50,6 +50,7 @@ from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
 from repro.core.lookup import LookupTable
 from repro.core.simulator import Simulator
 from repro.core.system import Processor, ProcessorType, SystemConfig
+from repro.core.topology import Topology
 from repro.graphs.dfg import DFG
 from repro.graphs.serialization import dfg_from_dict, dfg_to_dict
 from repro.policies.base import Policy
@@ -61,7 +62,11 @@ from repro.policies.registry import get_policy
 #: transfers_enabled) moved into a dedicated ``cost_model`` payload
 #: section, mirroring :class:`repro.core.cost.CostModel.signature` — the
 #: cache key now names the cost model explicitly.
-SWEEP_FORMAT_VERSION = 2
+#: v3: the system section gained a ``topology`` entry (the interconnect
+#: graph, including its contention switch), so topology-shaped systems
+#: hash differently from flat ones even when their uncontended costs
+#: coincide.
+SWEEP_FORMAT_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -157,13 +162,20 @@ class PolicySpec:
 
 
 def system_to_dict(system: SystemConfig) -> dict[str, object]:
-    """JSON-safe description of a :class:`SystemConfig`."""
+    """JSON-safe description of a :class:`SystemConfig`.
+
+    The ``topology`` entry (``None`` for flat systems) is part of the
+    job content hash: two systems with identical uncontended costs but
+    different interconnect graphs — or the same graph with contention
+    toggled — must never share a cache entry.
+    """
     return {
         "processors": [[p.name, p.ptype.value] for p in system],
         "rate_gbps": system.default_rate_gbps,
         "link_overrides": sorted(
             [a, b, rate] for (a, b), rate in system.link_overrides.items()
         ),
+        "topology": system.topology.to_dict() if system.topology is not None else None,
     }
 
 
@@ -177,10 +189,12 @@ def system_from_dict(data: Mapping[str, object]) -> SystemConfig:
         (str(a), str(b)): float(rate)
         for a, b, rate in data.get("link_overrides", [])  # type: ignore[union-attr]
     }
+    topo_data = data.get("topology")
     return SystemConfig(
         procs,
         transfer_rate_gbps=float(data["rate_gbps"]),  # type: ignore[arg-type]
         link_overrides=overrides or None,
+        topology=Topology.from_dict(topo_data) if topo_data else None,  # type: ignore[arg-type]
     )
 
 

@@ -163,3 +163,70 @@ def streaming_scale_workload(
         n_kernels, seed, mean_interarrival_ms, population
     )
     return stream.merged(name=f"scale_stream_n{stream.n_kernels}_s{seed}")
+
+
+# ----------------------------------------------------------------------
+# declarative workload kinds (the scenario registry's vocabulary)
+# ----------------------------------------------------------------------
+
+#: One workload unit: a DFG plus its per-kernel arrival map (``None``
+#: for submitted-at-once workloads).
+WorkloadUnit = tuple[DFG, "dict[int, float] | None"]
+
+
+def _paper_suite_workload(
+    dfg_type: int = 1, seed: int = DEFAULT_SEED, n_graphs: int | None = None
+) -> list[WorkloadUnit]:
+    suite = paper_suite(dfg_type, seed)
+    if n_graphs is not None:
+        suite = suite[:n_graphs]
+    return [(dfg, None) for dfg in suite]
+
+
+def _streaming_workload(
+    n_kernels: int = 10_000,
+    seed: int = DEFAULT_SEED,
+    mean_interarrival_ms: float = 3000.0,
+) -> list[WorkloadUnit]:
+    dfg, arrivals = streaming_scale_workload(n_kernels, seed, mean_interarrival_ms)
+    return [(dfg, arrivals)]
+
+
+def _pipeline_workload(
+    n_kernels: int = 64,
+    stage_width: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> list[WorkloadUnit]:
+    dfg = make_pipeline_dfg(
+        n_kernels,
+        rng=np.random.default_rng(seed),
+        stage_width=stage_width,
+        name=f"pipeline_n{n_kernels}_s{seed}",
+    )
+    return [(dfg, None)]
+
+
+#: kind name → builder.  Every builder takes only JSON-safe keyword
+#: parameters and is deterministic in them, so a
+#: :class:`~repro.experiments.scenarios.ScenarioSpec` can name a
+#: workload declaratively and reproduce it anywhere.
+WORKLOAD_KINDS = {
+    "paper_suite": _paper_suite_workload,
+    "streaming": _streaming_workload,
+    "pipeline": _pipeline_workload,
+}
+
+
+def build_workload(kind: str, **params: object) -> list[WorkloadUnit]:
+    """Materialize a declarative workload: ``(DFG, arrivals)`` units.
+
+    ``kind`` is one of :data:`WORKLOAD_KINDS`; ``params`` are forwarded
+    to the builder (unknown parameters raise ``TypeError`` — a spec typo
+    should fail loudly, not silently fall back to a default).
+    """
+    builder = WORKLOAD_KINDS.get(kind)
+    if builder is None:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; available: {sorted(WORKLOAD_KINDS)}"
+        )
+    return builder(**params)  # type: ignore[operator]

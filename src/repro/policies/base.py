@@ -241,6 +241,46 @@ class SchedulingContext:
         spec = self._spec(kernel_id)
         return self.cost.best_processor(spec.kernel, spec.data_size)
 
+    # ------------------------------------------------------------------
+    # route-aware queries (topology systems; see repro.core.topology)
+    # ------------------------------------------------------------------
+    @property
+    def topology(self):
+        """The system's interconnect graph, or ``None`` on flat systems."""
+        return self.system.topology
+
+    def route(self, src: str, dst: str):
+        """The interconnect route between two processors.
+
+        ``None`` on flat (non-topology) systems — there every pair is a
+        direct link.  On topology systems this is the precomputed
+        :class:`~repro.core.topology.Route`, exposing the hop list, the
+        contention channels it crosses, its bottleneck bandwidth and its
+        latency — what a contention-aware policy needs to predict which
+        prospective assignments would load the same channel.
+        """
+        return self.cost.route(src, dst)
+
+    def transfer_sources(self, kernel_id: int, processor: str) -> list[str]:
+        """Distinct processors data would flow *from* under this assignment.
+
+        The already-placed predecessors of ``kernel_id`` that executed on
+        a different processor than ``processor`` (deduplicated, in
+        predecessor order), filtered exactly like the simulator's
+        contended-transfer path (the shared
+        :meth:`~repro.core.cost.CostModel.transfer_flow_sources`):
+        sources whose route charges nothing (infinite bandwidth, zero
+        latency — or transfers disabled) open no flow and are omitted.
+        Combine with :meth:`route` to see which channels the
+        assignment's inbound transfers would occupy.
+        """
+        preds = self.predecessors(kernel_id)
+        if not preds:
+            return []
+        return self.cost.transfer_flow_sources(
+            preds, self.assignment_of, processor, self.data_bytes(kernel_id)
+        )
+
     def with_ready(self, ready: Sequence[int]) -> "SchedulingContext":
         """A sibling context exposing a reordered/filtered ready set.
 

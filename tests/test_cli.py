@@ -76,6 +76,81 @@ class TestExtension:
             main(["extension", "bogus"])
 
 
+class TestScenario:
+    def test_list_names_the_catalog(self, capsys):
+        out = run_cli(capsys, "scenario", "list")
+        for name in ("paper_type1", "dual_socket_tree", "edge_cluster_bus",
+                     "nvlink_mesh", "fat_tree_streaming"):
+            assert name in out
+
+    def test_show_renders_the_spec(self, capsys):
+        out = run_cli(capsys, "scenario", "show", "edge_cluster_bus")
+        assert "edge_cluster_bus" in out
+        assert "Topology" in out and "bus" in out
+
+    def test_show_json_round_trips(self, capsys):
+        from repro.experiments.scenarios import ScenarioSpec, get_scenario
+
+        out = run_cli(capsys, "scenario", "show", "nvlink_mesh", "--json")
+        assert ScenarioSpec.from_dict(json.loads(out)) == get_scenario("nvlink_mesh")
+
+    def test_show_requires_exactly_one_name(self, capsys):
+        assert main(["scenario", "show"]) == 2
+
+    def test_show_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            main(["scenario", "show", "bogus"])
+
+    def test_run_records_results(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "scenario", "run", "edge_cluster_bus",
+            "--results-dir", str(tmp_path),
+        )
+        assert "Scenario edge_cluster_bus" in out
+        recorded = (tmp_path / "scenario_edge_cluster_bus.txt").read_text()
+        assert "APT" in recorded
+
+    def test_run_honours_engine_flags(self, capsys, tmp_path):
+        # --workers with --cache-dir: second run must simulate nothing.
+        cache = tmp_path / "cache"
+        run_cli(
+            capsys, "scenario", "run", "edge_cluster_bus",
+            "--results-dir", str(tmp_path), "--workers", "2",
+            "--cache-dir", str(cache),
+        )
+        assert any(cache.glob("*.json"))
+        out = run_cli(
+            capsys, "scenario", "run", "edge_cluster_bus",
+            "--results-dir", str(tmp_path), "--cache-dir", str(cache),
+        )
+        assert "Scenario edge_cluster_bus" in out
+
+
+class TestEngineFlags:
+    """--workers / --no-cache combinations on the sweep-shaped commands."""
+
+    def test_compare_with_workers_matches_serial(self, capsys):
+        serial = run_cli(capsys, "compare", "--dfg-type", "1")
+        parallel = run_cli(capsys, "compare", "--dfg-type", "1", "--workers", "2")
+        assert parallel == serial
+
+    def test_no_cache_still_produces_the_table(self, capsys):
+        out = run_cli(capsys, "table", "8", "--no-cache")
+        assert "Table 8" in out
+
+    def test_no_cache_with_cache_dir_writes_nothing(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        out = run_cli(
+            capsys, "table", "8", "--no-cache", "--cache-dir", str(cache),
+        )
+        assert "Table 8" in out
+        assert not cache.exists() or not any(cache.glob("*.json"))
+
+    def test_workers_zero_means_all_cores(self, capsys):
+        out = run_cli(capsys, "table", "13", "--workers", "0")
+        assert "Improvement" in out
+
+
 class TestCalibrate:
     def test_writes_lookup_json(self, capsys, tmp_path):
         path = tmp_path / "table.json"

@@ -1,0 +1,138 @@
+"""Tests for the declarative scenario registry (`repro.experiments.scenarios`)."""
+
+import json
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.core.system import CPU_GPU_FPGA
+from repro.data.paper_tables import paper_lookup_table
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    WorkloadSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments.sweep import PolicySpec, SweepEngine, system_to_dict
+from repro.experiments.workloads import build_workload, paper_suite
+from repro.policies.registry import get_policy
+
+EXPECTED_CATALOG = {
+    "paper_type1",
+    "paper_type2",
+    "dual_socket_tree",
+    "nvlink_mesh",
+    "edge_cluster_bus",
+    "fat_tree_streaming",
+}
+
+
+class TestRegistry:
+    def test_catalog_ships_the_documented_scenarios(self):
+        assert EXPECTED_CATALOG <= set(available_scenarios())
+
+    def test_get_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("edge_cluster_bus")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(lambda: spec)
+
+    def test_every_spec_builds_its_system(self):
+        for name in available_scenarios():
+            system = get_scenario(name).build_system()
+            assert len(system) >= 2
+
+
+class TestSpecSerialization:
+    def test_round_trip_every_catalog_entry(self):
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert clone == spec
+
+    def test_workload_spec_params_are_order_insensitive(self):
+        a = WorkloadSpec.of("paper_suite", dfg_type=1, seed=3)
+        b = WorkloadSpec.of("paper_suite", seed=3, dfg_type=1)
+        assert a == b
+
+    def test_unknown_workload_kind_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            build_workload("bogus")
+
+    def test_unknown_workload_param_fails_loudly(self):
+        with pytest.raises(TypeError):
+            build_workload("pipeline", bogus_param=1)
+
+
+class TestExecution:
+    def test_paper_star_scenario_reproduces_flat_numbers_bit_for_bit(self):
+        # The star-topology scenario platform must price and schedule
+        # exactly like the paper's flat link table.
+        spec = get_scenario("paper_type1")
+        lookup = paper_lookup_table()
+        star = spec.build_system()
+        flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+        dfg = paper_suite(1)[0]
+        for policy_name in ("apt", "met", "heft"):
+            kwargs = {"alpha": 1.5} if policy_name == "apt" else {}
+            star_run = Simulator(star, lookup).run(dfg, get_policy(policy_name, **kwargs))
+            flat_run = Simulator(flat, lookup).run(dfg, get_policy(policy_name, **kwargs))
+            assert list(star_run.schedule) == list(flat_run.schedule)
+            assert star_run.metrics == flat_run.metrics
+
+    def test_run_scenario_returns_policy_major_results(self):
+        outcome = run_scenario("edge_cluster_bus", engine=SweepEngine())
+        by_policy = outcome.by_policy()
+        assert set(by_policy) == {"apt", "olb", "ag"}
+        assert all(len(v) == 1 for v in by_policy.values())
+        table = outcome.table()
+        assert table.headers[0] == "Policy"
+        assert len(table.rows) == 3
+
+    def test_rerun_hits_the_cache(self, tmp_path):
+        engine = SweepEngine(cache_dir=tmp_path)
+        run_scenario("edge_cluster_bus", engine=engine)
+        simulated_first = engine.stats.simulated
+        assert simulated_first > 0
+        fresh = SweepEngine(cache_dir=tmp_path)
+        outcome = run_scenario("edge_cluster_bus", engine=fresh)
+        assert fresh.stats.simulated == 0
+        assert fresh.stats.disk_hits == len(outcome.results)
+
+    def test_contention_flag_changes_the_cache_key(self):
+        # Same graph shape, contention toggled: jobs must never share a
+        # cache entry (their simulated results differ).
+        spec = get_scenario("edge_cluster_bus")
+        system = spec.build_system()
+        data = system_to_dict(system)
+        flipped = json.loads(json.dumps(data))
+        flipped["topology"]["contention"] = False
+        from repro.experiments.sweep import system_from_dict
+
+        uncontended = system_from_dict(flipped)
+        from repro.experiments.sweep import make_job
+
+        lookup = paper_lookup_table()
+        (dfg, arrivals) = spec.workload.build()[0]
+        job_on = make_job(dfg, PolicySpec.of("apt", alpha=2.0), system, lookup, arrivals=arrivals)
+        job_off = make_job(dfg, PolicySpec.of("apt", alpha=2.0), uncontended, lookup, arrivals=arrivals)
+        assert job_on.content_hash() != job_off.content_hash()
+
+    def test_scenario_jobs_carry_scenario_tag(self):
+        jobs = get_scenario("edge_cluster_bus").jobs()
+        assert all(job.tag["scenario"] == "edge_cluster_bus" for job in jobs)
+
+    def test_empty_policy_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty policy grid"):
+            ScenarioSpec(
+                name="x",
+                description="",
+                system=system_to_dict(CPU_GPU_FPGA()),
+                workload=WorkloadSpec.of("pipeline", n_kernels=8),
+                policies=(),
+            )

@@ -15,8 +15,16 @@ import pytest
 
 from repro.core.reference import ReferenceSimulator
 from repro.core.simulator import Simulator
-from repro.core.system import CPU_GPU_FPGA
-from repro.data.paper_tables import paper_lookup_table
+from repro.core.system import CPU_GPU_FPGA, Processor, SystemConfig
+from repro.core.topology import bus_topology, star_topology
+from repro.data.paper_tables import (
+    FIGURE5_KERNELS,
+    figure5_lookup_table,
+    paper_lookup_table,
+)
+from repro.graphs.dfg import DFG
+from repro.policies.apt import APT
+from repro.policies.met import MET
 from repro.experiments.workloads import (
     paper_suite,
     scale_system,
@@ -25,6 +33,19 @@ from repro.experiments.workloads import (
 from repro.policies.registry import available_policies, get_policy
 
 ALL_POLICIES = available_policies()
+
+
+def star_twin(flat: SystemConfig, contention: bool = False) -> SystemConfig:
+    """The star-topology expression of a flat uniform-rate system."""
+    procs = [Processor(p.name, p.ptype) for p in flat]
+    return SystemConfig(
+        procs,
+        topology=star_topology(
+            [p.name for p in procs],
+            rate_gbps=flat.default_rate_gbps,
+            contention=contention,
+        ),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -93,6 +114,112 @@ class TestExecutionNoise:
             dfg,
             policy_name,
         )
+
+
+class TestStarTopologyEquivalence:
+    """A uniform star topology must reproduce the flat link table exactly."""
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_star_equals_flat_bit_for_bit(self, policy_name, system, lookup):
+        dfg = paper_suite(1)[1]
+        star = star_twin(system)
+        flat_run = Simulator(system, lookup).run(dfg, get_policy(policy_name))
+        star_run = Simulator(star, lookup).run(dfg, get_policy(policy_name))
+        assert list(flat_run.schedule) == list(star_run.schedule)
+        assert flat_run.metrics == star_run.metrics
+
+    @pytest.mark.parametrize("policy_name", ["apt", "met", "heft", "ag"])
+    def test_star_fast_vs_reference(self, policy_name, system, lookup):
+        dfg = paper_suite(2)[1]
+        assert_identical_runs(
+            {"system": star_twin(system), "lookup": lookup}, dfg, policy_name
+        )
+
+    def test_figure5_end_times_on_star_topology(self):
+        # The one fully-published experiment: the star-topology platform
+        # must land on the paper's exact end times too.
+        star = star_twin(CPU_GPU_FPGA())
+        sim = Simulator(star, figure5_lookup_table(), transfers_enabled=False)
+        dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+        assert sim.run(dfg, MET()).makespan == pytest.approx(318.093, abs=1e-3)
+        assert sim.run(dfg, APT(alpha=8.0)).makespan == pytest.approx(212.093, abs=1e-3)
+
+
+class TestContendedVsUncontended:
+    """The contended event path vs the fixed-charge path.
+
+    When no two flows ever overlap on a shared channel, the contended
+    path must charge *exactly* the uncontended route times; when flows do
+    overlap, the shared channel's equal-share discipline stretches them
+    by the precise flow count.
+    """
+
+    def _bus_system(self, contention: bool) -> SystemConfig:
+        flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+        procs = [Processor(p.name, p.ptype) for p in flat]
+        return SystemConfig(
+            procs,
+            topology=bus_topology(
+                [p.name for p in procs], bus_gbps=4.0, contention=contention
+            ),
+        )
+
+    def test_serial_transfers_identical_bit_for_bit(self, lookup):
+        # A pipeline chain never has two transfers in flight at once, so
+        # contention must change nothing — including every float.
+        from repro.graphs.generators import make_pipeline_dfg
+        import numpy as np
+
+        dfg = make_pipeline_dfg(
+            30, rng=np.random.default_rng(5), stage_width=1, name="chain"
+        )
+        for policy_name in ("met", "apt", "heft"):
+            on = Simulator(self._bus_system(True), lookup).run(
+                dfg, get_policy(policy_name)
+            )
+            off = Simulator(self._bus_system(False), lookup).run(
+                dfg, get_policy(policy_name)
+            )
+            key = lambda e: e.kernel_id  # noqa: E731 - contended entries log at exec start
+            assert sorted(on.schedule, key=key) == sorted(off.schedule, key=key)
+            assert on.metrics == off.metrics
+
+    def test_join_kernel_flows_share_the_bus_exactly(self, lookup):
+        # Two predecessors pinned to different processors feed one join
+        # kernel on a third: its two inbound flows drain concurrently on
+        # the shared bus, so each gets half the bandwidth — exactly 2x
+        # the uncontended (max) transfer time; upstream is untouched.
+        from repro.graphs.dfg import KernelSpec
+        from repro.policies.base import Assignment, DynamicPolicy
+
+        dfg = DFG("join")
+        a = dfg.add_kernel(KernelSpec("matmul", 250_000))
+        b = dfg.add_kernel(KernelSpec("bfs", 250_000))
+        c = dfg.add_kernel(KernelSpec("srad", 250_000))
+        dfg.add_dependencies([(a, c), (b, c)])
+        pin = {a: "gpu0", b: "fpga0", c: "cpu0"}
+
+        class Pinned(DynamicPolicy):
+            name = "pinned"
+
+            def select(self, ctx):
+                return [
+                    Assignment(kernel_id=k, processor=pin[k])
+                    for k in ctx.ready
+                    if ctx.views[pin[k]].idle
+                ]
+
+        on = Simulator(self._bus_system(True), lookup).run(dfg, Pinned())
+        off = Simulator(self._bus_system(False), lookup).run(dfg, Pinned())
+        entry_on = {e.kernel_id: e for e in on.schedule}
+        entry_off = {e.kernel_id: e for e in off.schedule}
+        # uncontended: max(two 1e6-byte transfers at 4 GB/s) = 0.25 ms
+        assert entry_off[c].transfer_time == pytest.approx(0.25)
+        assert entry_on[c].transfer_time == pytest.approx(
+            2.0 * entry_off[c].transfer_time
+        )
+        for kid in (a, b):
+            assert entry_on[kid] == entry_off[kid]
 
 
 class TestStreamingArrivals:

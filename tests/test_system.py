@@ -90,6 +90,26 @@ class TestSystemConfig:
         with pytest.raises(ValueError):
             CPU_GPU_FPGA(transfer_rate_gbps=0.0)
 
+    def test_rate_validation_consistent_everywhere(self):
+        # Regression: the default rate, the per-link overrides and the
+        # Link constructor must all apply the same rule — reject zero,
+        # negative and NaN; accept inf ("never the bottleneck").
+        procs = [
+            Processor("a", ProcessorType.CPU),
+            Processor("b", ProcessorType.GPU),
+        ]
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                SystemConfig(procs, transfer_rate_gbps=bad)
+            with pytest.raises(ValueError):
+                SystemConfig(procs, link_overrides={("a", "b"): bad})
+            with pytest.raises(ValueError):
+                Link("a", "b", bad)
+        inf = float("inf")
+        system = SystemConfig(procs, link_overrides={("a", "b"): inf})
+        assert system.transfer_time_ms("a", "b", 1e12) == 0.0
+        assert Link("a", "b", inf).transfer_time_ms(1e12) == 0.0
+
     def test_lookup_by_name(self):
         system = CPU_GPU_FPGA()
         assert system["gpu0"].ptype is ProcessorType.GPU
