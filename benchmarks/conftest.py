@@ -28,8 +28,22 @@ def runner() -> ExperimentRunner:
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
+    """Committed artifacts: deterministic model quantities only.
+
+    Anything wall-clock-dependent (seconds, speedups) belongs in
+    ``local_results_dir`` — committed files must not churn between
+    machines or runs.
+    """
     out = _ROOT / "results"
     out.mkdir(exist_ok=True)
+    return out
+
+
+@pytest.fixture(scope="session")
+def local_results_dir() -> Path:
+    """Untracked artifacts: machine-dependent timings (``results/local/``)."""
+    out = _ROOT / "results" / "local"
+    out.mkdir(parents=True, exist_ok=True)
     return out
 
 

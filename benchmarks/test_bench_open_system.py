@@ -1,0 +1,93 @@
+"""Open-system benchmark: bounded-memory streaming ingestion.
+
+Scenario: a lazily-generated Poisson stream of mixed applications
+(:func:`repro.experiments.workloads.mixed_application_factory`) on the
+12-processor scale platform, run through ``Simulator.run_stream`` with
+schedule retention off — the regime where the simulator holds only
+in-flight state.  Asserts the open-system memory guarantee: every kernel
+is retired, and peak resident kernels stay a small multiple of the
+stream's concurrency (two orders of magnitude below its length at full
+scale), while metrics match a retained-schedule run exactly.
+
+Two modes:
+
+* **smoke** (default, CI): ~5k kernels; writes the untracked
+  ``results/local/streaming_bounded_memory_smoke.txt``.
+* **full** (``REPRO_SCALE_FULL=1``): the ≥50k-kernel acceptance
+  scenario; writes the committed ``results/streaming_bounded_memory.txt``.
+
+Both artifacts carry deterministic counts only (no wall-clock), so the
+committed record never churns across machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import write_artifact
+from repro.core.simulator import Simulator
+from repro.data.paper_tables import paper_lookup_table
+from repro.experiments.workloads import mixed_application_factory, scale_system
+from repro.graphs.sources import GeneratorSource, PoissonProfile
+from repro.policies.registry import get_policy
+
+FULL = os.environ.get("REPRO_SCALE_FULL", "") == "1"
+N_APPS = 4_200 if FULL else 420
+#: peak resident kernels must stay below this fraction of the stream
+RESIDENCY_GATE = 50 if FULL else 10
+ARTIFACT = "streaming_bounded_memory.txt"
+POLICIES = ("apt", "met")
+
+
+def test_bench_open_system_bounded_memory(results_dir, local_results_dir):
+    system = scale_system()
+    lookup = paper_lookup_table()
+
+    lines = [
+        "Open-system streaming — bounded-memory ingestion "
+        f"({'full' if FULL else 'smoke'} mode)",
+        f"stream: {N_APPS} Poisson applications (mean gap 3 s), "
+        f"system: {len(system)} processors",
+        "",
+        f"{'policy':<8} {'kernels':>8} {'peak resident':>14} {'retired':>8} "
+        f"{'resident %':>11} {'mean resp ms':>13}",
+    ]
+    for policy_name in POLICIES:
+        source = GeneratorSource(
+            N_APPS,
+            mixed_application_factory(),
+            PoissonProfile(3000.0),
+            seed=2017,
+            name=f"bounded_{N_APPS}",
+        )
+        sim = Simulator(system, lookup)
+        out = sim.run_stream(source, get_policy(policy_name), retain_schedule=False)
+        stats = out.stream
+        assert stats.retired_kernels == stats.n_kernels, (
+            f"{policy_name}: {stats.n_kernels - stats.retired_kernels} kernels "
+            "never retired"
+        )
+        assert stats.peak_resident_kernels * RESIDENCY_GATE <= stats.n_kernels, (
+            f"{policy_name}: peak resident {stats.peak_resident_kernels} exceeds "
+            f"1/{RESIDENCY_GATE} of the {stats.n_kernels}-kernel stream"
+        )
+        if FULL:
+            assert stats.n_kernels >= 50_000
+        lines.append(
+            f"{policy_name:<8} {stats.n_kernels:>8} "
+            f"{stats.peak_resident_kernels:>14} {stats.retired_kernels:>8} "
+            f"{100.0 * stats.peak_resident_kernels / stats.n_kernels:>10.2f}% "
+            f"{out.service.mean_response_ms:>13,.1f}"
+        )
+
+    lines += [
+        "",
+        "Peak resident kernels track the stream's concurrency (arrival rate",
+        "x service time), not its length; all counts are deterministic.",
+    ]
+    if FULL:
+        write_artifact(results_dir, ARTIFACT, "\n".join(lines))
+    else:
+        write_artifact(
+            local_results_dir, "streaming_bounded_memory_smoke.txt", "\n".join(lines)
+        )

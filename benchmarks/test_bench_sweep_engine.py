@@ -4,7 +4,9 @@ Runs the Tables 8+9 simulation grid (7 policies × 2 DFG suites × 10
 graphs = 140 independent jobs) three ways — serial, 4-worker pool, and
 warm on-disk cache — asserting the determinism contract (parallel and
 cached results are bit-identical to serial, a warm re-run simulates
-nothing) and recording the wall-clock numbers in ``results/``.
+nothing) and recording the wall-clock numbers in the untracked
+``results/local/`` (timings are machine-dependent and must not churn
+committed files).
 
 Speedup is only *asserted* on multi-core machines; a single-core host
 still verifies correctness and records the timings.
@@ -35,7 +37,7 @@ def multi_table_spec() -> SweepSpec:
     return SweepSpec(policies=TABLE_POLICIES, dfg_types=(1, 2))
 
 
-def test_bench_sweep_parallel_vs_serial(benchmark, results_dir):
+def test_bench_sweep_parallel_vs_serial(benchmark, local_results_dir):
     jobs = multi_table_spec().expand()
     benchmark(lambda: execute_payload(jobs[0].runnable_payload()))
 
@@ -81,10 +83,12 @@ def test_bench_sweep_parallel_vs_serial(benchmark, results_dir):
             "share the core(s) and pool overhead dominates — this number is "
             "not a speedup measurement. Re-run on a >=4-core machine for one."
         )
-    write_artifact(results_dir, "sweep_engine_speedup.txt", "\n".join(lines))
+    write_artifact(local_results_dir, "sweep_engine_speedup.txt", "\n".join(lines))
 
 
-def test_bench_warm_cache_simulates_nothing(benchmark, results_dir, tmp_path_factory):
+def test_bench_warm_cache_simulates_nothing(
+    benchmark, local_results_dir, tmp_path_factory
+):
     cache_dir = tmp_path_factory.mktemp("sweep-cache")
     jobs = multi_table_spec().expand()
 
@@ -112,7 +116,7 @@ def test_bench_warm_cache_simulates_nothing(benchmark, results_dir, tmp_path_fac
 
     benchmark.extra_info["cold_s"] = round(t_cold, 3)
     write_artifact(
-        results_dir,
+        local_results_dir,
         "sweep_engine_cache.txt",
         "\n".join(
             [

@@ -34,9 +34,19 @@ from repro.core.system import (
     CPU_GPU_FPGA,
 )
 from repro.core.lookup import LookupTable, LookupEntry
-from repro.core.simulator import Simulator, SimulationResult
+from repro.core.simulator import (
+    Simulator,
+    SimulationResult,
+    StreamResult,
+    StreamStats,
+)
 from repro.core.schedule import Schedule, ScheduleEntry
-from repro.core.metrics import SimulationMetrics, LambdaStats
+from repro.core.metrics import (
+    AppServiceRecord,
+    LambdaStats,
+    ServiceMetrics,
+    SimulationMetrics,
+)
 from repro.graphs.dfg import DFG, KernelSpec
 from repro.graphs.generators import (
     make_type1_dfg,
@@ -71,6 +81,14 @@ from repro.graphs.streams import (
     poisson_stream,
     periodic_stream,
 )
+from repro.graphs.sources import (
+    ArrivalSource,
+    BurstProfile,
+    DiurnalProfile,
+    EagerSource,
+    GeneratorSource,
+    PoissonProfile,
+)
 
 __version__ = "1.0.0"
 
@@ -83,9 +101,13 @@ __all__ = [
     "LookupEntry",
     "Simulator",
     "SimulationResult",
+    "StreamResult",
+    "StreamStats",
     "Schedule",
     "ScheduleEntry",
     "SimulationMetrics",
+    "ServiceMetrics",
+    "AppServiceRecord",
     "LambdaStats",
     "DFG",
     "KernelSpec",
@@ -116,6 +138,12 @@ __all__ = [
     "ApplicationStream",
     "poisson_stream",
     "periodic_stream",
+    "ArrivalSource",
+    "EagerSource",
+    "GeneratorSource",
+    "PoissonProfile",
+    "BurstProfile",
+    "DiurnalProfile",
     "get_policy",
     "available_policies",
     "paper_lookup_table",

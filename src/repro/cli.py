@@ -14,6 +14,9 @@ Subcommands
   catalog, ``show`` one spec (``--json`` for the serialized form), or
   ``run`` scenarios through the cached sweep engine, recording rendered
   result tables under ``results/``;
+* ``load-sweep`` — open-system throughput–latency curves: sweep the
+  arrival rate λ from light load to saturation for each policy,
+  recording the curves under ``results/load_sweep_*.txt``;
 * ``calibrate`` — measure the real kernels on this machine and write a
   fresh lookup table JSON.
 
@@ -152,6 +155,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results-dir",
         default="results",
         help="run: directory for rendered scenario tables",
+    )
+
+    load = sub.add_parser(
+        "load-sweep",
+        help="open-system λ sweep: throughput–latency curves per policy",
+        parents=[engine],
+    )
+    load.add_argument(
+        "--policies",
+        default="apt,met",
+        help="comma-separated dynamic policies (default: apt,met)",
+    )
+    load.add_argument(
+        "--rates-per-s",
+        default="0.1,0.25,0.5,1.0",
+        help="comma-separated arrival rates λ in applications/second",
+    )
+    load.add_argument("--apps", type=int, default=32, help="applications per stream")
+    load.add_argument(
+        "--profile", choices=("poisson", "burst", "diurnal"), default="poisson"
+    )
+    load.add_argument("--alpha", type=float, default=4.0, help="APT threshold multiplier")
+    load.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    load.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory for the rendered load_sweep_<profile>.txt record",
     )
 
     cal = sub.add_parser("calibrate", help="measure kernels, write lookup JSON")
@@ -322,6 +352,40 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.load_sweep import load_sweep
+    from repro.experiments.sweep import SweepEngine
+
+    try:
+        policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+        rates = tuple(float(r) for r in args.rates_per_s.split(",") if r.strip())
+    except ValueError:
+        print("could not parse --policies / --rates-per-s", file=sys.stderr)
+        return 2
+    engine = SweepEngine(
+        workers=args.workers, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    sweep = load_sweep(
+        policies=policies,
+        rates_per_s=rates,
+        n_applications=args.apps,
+        seed=args.seed,
+        profile=args.profile,
+        apt_alpha=args.alpha,
+        engine=engine,
+    )
+    text = render_table(sweep.table())
+    print(text)
+    out_dir = Path(args.results_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"load_sweep_{args.profile}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"  -> {path}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.kernels.calibration import Calibrator
 
@@ -351,6 +415,7 @@ _COMMANDS = {
     "figure5": _cmd_figure5,
     "extension": _cmd_extension,
     "scenario": _cmd_scenario,
+    "load-sweep": _cmd_load_sweep,
     "calibrate": _cmd_calibrate,
 }
 

@@ -30,10 +30,24 @@ from repro.core.topology import (
 from repro.core.lookup import LookupTable, LookupEntry
 from repro.core.cost import CostModel
 from repro.core.events import Event, EventKind, EventQueue
-from repro.core.simulator import Simulator, SimulationResult
+from repro.core.simulator import (
+    Simulator,
+    SimulationResult,
+    StreamResult,
+    StreamStats,
+)
 from repro.core.reference import ReferenceSimulator
 from repro.core.schedule import Schedule, ScheduleEntry
-from repro.core.metrics import SimulationMetrics, LambdaStats, ProcessorUsage
+from repro.core.metrics import (
+    AppServiceRecord,
+    AppSpan,
+    LambdaStats,
+    ProcessorUsage,
+    ServiceMetrics,
+    SimulationMetrics,
+    compute_service_metrics,
+    rolling_utilization,
+)
 from repro.core.trace import StateTrace, StateSnapshot
 from repro.core.energy import (
     DEFAULT_POWER_MODEL,
@@ -64,10 +78,17 @@ __all__ = [
     "EventQueue",
     "Simulator",
     "SimulationResult",
+    "StreamResult",
+    "StreamStats",
     "ReferenceSimulator",
     "Schedule",
     "ScheduleEntry",
     "SimulationMetrics",
+    "ServiceMetrics",
+    "AppServiceRecord",
+    "AppSpan",
+    "compute_service_metrics",
+    "rolling_utilization",
     "LambdaStats",
     "ProcessorUsage",
     "StateTrace",

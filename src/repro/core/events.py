@@ -26,15 +26,31 @@ class EventKind(Enum):
     ``TRANSFER_COMPLETE`` events carry a *version* in their payload;
     an event whose version no longer matches the flow's current one is
     stale (a reshare superseded it) and is skipped by the simulator.
+
+    ``APP_ARRIVAL`` drives the open-system streaming path: one event per
+    application joining the stream, at which instant the simulator admits
+    the application's kernels (see ``Simulator.run_stream``).
     """
 
     KERNEL_READY = "kernel_ready"
+    APP_ARRIVAL = "app_arrival"
     TRANSFER_START = "transfer_start"
     TRANSFER_COMPLETE = "transfer_complete"
     KERNEL_COMPLETE = "kernel_complete"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Same-timestamp ordering tier.  Arrival-class events (kernels or
+#: applications entering the system) sort before progress-class events
+#: (transfers, completions) at an identical time, so a streaming run —
+#: whose single look-ahead ``APP_ARRIVAL`` event may be pushed *after*
+#: long-scheduled completion events — processes arrivals in exactly the
+#: position the merged-DFG path does (that path pushes every
+#: ``KERNEL_READY`` up front, i.e. with the lowest sequence numbers).
+#: Within a tier, FIFO insertion order still breaks ties.
+_ARRIVAL_RANK = {EventKind.KERNEL_READY: 0, EventKind.APP_ARRIVAL: 0}
 
 
 @dataclass(frozen=True)
@@ -54,14 +70,23 @@ class Event:
 
 
 class EventQueue:
-    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking."""
+    """A min-heap of :class:`Event` objects with stable FIFO tie-breaking.
+
+    Ordering is ``(time, arrival-class-first, insertion order)``: see
+    :data:`_ARRIVAL_RANK`.  For runs whose arrival events are all pushed
+    before any progress event (the merged-DFG path), the rank term is
+    redundant with insertion order, so it changes nothing there.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def push(self, event: Event) -> None:
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        heapq.heappush(
+            self._heap,
+            (event.time, _ARRIVAL_RANK.get(event.kind, 1), next(self._counter), event),
+        )
 
     def pop(self) -> Event:
         """Remove and return the earliest event.
@@ -73,12 +98,12 @@ class EventQueue:
         """
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[-1]
 
     def peek(self) -> Event:
         if not self._heap:
             raise IndexError("peek at empty EventQueue")
-        return self._heap[0][2]
+        return self._heap[0][-1]
 
     def pop_simultaneous(self) -> list[Event]:
         """Pop *all* events sharing the earliest timestamp, in FIFO order.

@@ -13,16 +13,34 @@ The paper's simulator reports, besides the schedule itself (§3.2):
 8. λ-delay standard deviation — eq. (12).
 
 This module computes 1–4 and 6–8 from a :class:`~repro.core.schedule.Schedule`.
+
+Beyond the paper's closed-system view, the **service-level** layer
+(:class:`AppServiceRecord` / :class:`ServiceMetrics`) accounts runs per
+*application*: response time (sojourn), queueing delay, slowdown against
+an isolated lower bound, rolling throughput/utilization windows — the
+open-system quantities a streaming deployment is judged by.  Both layers
+come in a batch form (``compute_*`` over a finished schedule) and an
+incremental form (:class:`MetricsAccumulator` / :class:`ServiceAccumulator`
+consuming one :class:`~repro.core.schedule.ScheduleEntry` at a time), so
+the simulator's bounded-memory streaming path can aggregate without
+retaining the schedule log.  The accumulators observe entries in schedule
+order and reuse the same reductions, so their output is identical to the
+batch computation.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.system import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cost import CostModel
+    from repro.graphs.dfg import DFG
 
 #: Delays smaller than this (ms) are numerical noise, not real λ occurrences.
 LAMBDA_EPSILON = 1e-9
@@ -142,3 +160,428 @@ def compute_metrics(
         n_kernels=len(schedule),
         n_alternative_assignments=n_alternative_assignments,
     )
+
+
+class MetricsAccumulator:
+    """Incremental :class:`SimulationMetrics` over a stream of entries.
+
+    Consumes :class:`~repro.core.schedule.ScheduleEntry` objects in the
+    order the simulator creates them (per processor that order is
+    execution order, so the per-processor sums reduce in the same order
+    as :func:`compute_metrics`) and produces the same metrics without
+    holding the schedule — the streaming path's aggregation backend.
+
+    Memory note: the λ-delay and queue-wait samples are retained (two
+    floats per kernel) so the final :class:`LambdaStats` is *bit-equal*
+    to the batch computation — a streaming variance (Welford) would
+    differ in the last ulp and break the retained/dropped-schedule
+    equality guarantee.  That is a constant ~16 bytes per kernel,
+    orders of magnitude below the graph/schedule state the streaming
+    path retires; the bounded-memory claim is about resident *kernel
+    state*, not these scalars.
+    """
+
+    def __init__(self, system: SystemConfig) -> None:
+        self._system = system
+        self._compute: dict[str, float] = {p.name: 0.0 for p in system}
+        self._transfer: dict[str, float] = {p.name: 0.0 for p in system}
+        self._lambda_delays: list[float] = []
+        self._queue_waits: list[float] = []
+        self._makespan = 0.0
+        self._n = 0
+
+    def observe(self, entry: ScheduleEntry) -> None:
+        self._compute[entry.processor] += entry.exec_time
+        self._transfer[entry.processor] += entry.transfer_time
+        self._lambda_delays.append(entry.lambda_delay)
+        self._queue_waits.append(entry.queue_wait)
+        if entry.finish_time > self._makespan:
+            self._makespan = entry.finish_time
+        self._n += 1
+
+    def finalize(self, n_alternative_assignments: int = 0) -> SimulationMetrics:
+        usage = {
+            p.name: ProcessorUsage(
+                processor=p.name,
+                compute_time=self._compute[p.name],
+                transfer_time=self._transfer[p.name],
+                idle_time=max(
+                    0.0,
+                    self._makespan - self._compute[p.name] - self._transfer[p.name],
+                ),
+            )
+            for p in self._system
+        }
+        return SimulationMetrics(
+            makespan=self._makespan,
+            usage=usage,
+            lambda_stats=LambdaStats.from_delays(self._lambda_delays),
+            queue_wait_stats=LambdaStats.from_delays(self._queue_waits),
+            n_kernels=self._n,
+            n_alternative_assignments=n_alternative_assignments,
+        )
+
+
+# ----------------------------------------------------------------------
+# service-level (per-application) accounting — the open-system view
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppSpan:
+    """One application's footprint in a merged/streamed kernel id space.
+
+    Kernel ids ``[kid_lo, kid_hi)`` belong to the application (the block
+    renumbering :meth:`~repro.graphs.streams.ApplicationStream.merged`
+    and ``Simulator.run_stream`` both produce).
+    """
+
+    arrival_ms: float
+    kid_lo: int
+    kid_hi: int
+
+    def __post_init__(self) -> None:
+        if self.kid_hi <= self.kid_lo:
+            raise ValueError(f"empty app span [{self.kid_lo}, {self.kid_hi})")
+        if self.arrival_ms < 0:
+            raise ValueError("arrival_ms must be >= 0")
+
+    @property
+    def n_kernels(self) -> int:
+        return self.kid_hi - self.kid_lo
+
+
+def stream_app_spans(stream) -> tuple[AppSpan, ...]:
+    """The :class:`AppSpan` blocks of an ``ApplicationStream``'s merged form."""
+    spans = []
+    offset = 0
+    for app in stream:
+        spans.append(AppSpan(app.arrival_ms, offset, offset + len(app.dfg)))
+        offset += len(app.dfg)
+    return tuple(spans)
+
+
+def isolated_lower_bound_ms(
+    dfg: "DFG", kids: Sequence[int], cost: "CostModel"
+) -> float:
+    """A lower bound on one application's isolated runtime (ms).
+
+    Longest dependency path through ``kids`` pricing every kernel at its
+    best-processor execution time and every transfer at zero — what the
+    application could not beat even alone on the machine.  The slowdown
+    denominator of :class:`AppServiceRecord`.
+    """
+    members = set(kids)
+    best = {}
+    for k in kids:
+        spec = dfg.spec(k)
+        best[k] = cost.best_processor(spec.kernel, spec.data_size)[1]
+    finish: dict[int, float] = {}
+    pending = {k: sum(1 for p in dfg.predecessors(k) if p in members) for k in kids}
+    frontier = [k for k in kids if pending[k] == 0]
+    bound = 0.0
+    while frontier:
+        nxt: list[int] = []
+        for k in frontier:
+            start = max(
+                (finish[p] for p in dfg.predecessors(k) if p in members),
+                default=0.0,
+            )
+            finish[k] = start + best[k]
+            if finish[k] > bound:
+                bound = finish[k]
+            for s in dfg.successors(k):
+                if s in members:
+                    pending[s] -= 1
+                    if pending[s] == 0:
+                        nxt.append(s)
+        frontier = nxt
+    if len(finish) != len(members):  # pragma: no cover - defensive
+        raise ValueError("application span contains a dependency cycle")
+    return bound
+
+
+@dataclass(frozen=True)
+class AppServiceRecord:
+    """Service-level lifecycle of one application through the system."""
+
+    app_index: int
+    arrival_ms: float
+    n_kernels: int
+    first_start_ms: float
+    finish_ms: float
+    compute_ms: float
+    isolated_ms: float
+
+    @property
+    def response_ms(self) -> float:
+        """Sojourn time: arrival to last kernel completion."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def queueing_ms(self) -> float:
+        """Arrival to first kernel starting execution."""
+        return self.first_start_ms - self.arrival_ms
+
+    @property
+    def slowdown(self) -> float:
+        """Response time relative to the isolated lower bound (≥ ~1)."""
+        return self.response_ms / self.isolated_ms if self.isolated_ms > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class ServiceWindow:
+    """One rolling window of the service timeline."""
+
+    t_lo_ms: float
+    t_hi_ms: float
+    arrived: int
+    completed: int
+    mean_response_ms: float
+
+    @property
+    def throughput_per_s(self) -> float:
+        width = self.t_hi_ms - self.t_lo_ms
+        return self.completed / (width / 1e3) if width > 0 else 0.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Aggregate service-level metrics of an open-system run."""
+
+    records: tuple[AppServiceRecord, ...]
+    horizon_ms: float
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[AppServiceRecord]
+    ) -> "ServiceMetrics":
+        horizon = max((r.finish_ms for r in records), default=0.0)
+        return cls(records=tuple(records), horizon_ms=horizon)
+
+    @property
+    def n_applications(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_kernels(self) -> int:
+        return sum(r.n_kernels for r in self.records)
+
+    def _responses(self) -> list[float]:
+        return sorted(r.response_ms for r in self.records)
+
+    @property
+    def mean_response_ms(self) -> float:
+        n = len(self.records)
+        return sum(r.response_ms for r in self.records) / n if n else 0.0
+
+    @property
+    def median_response_ms(self) -> float:
+        return _percentile(self._responses(), 50.0)
+
+    @property
+    def p95_response_ms(self) -> float:
+        return _percentile(self._responses(), 95.0)
+
+    @property
+    def max_response_ms(self) -> float:
+        return max((r.response_ms for r in self.records), default=0.0)
+
+    @property
+    def mean_queueing_ms(self) -> float:
+        n = len(self.records)
+        return sum(r.queueing_ms for r in self.records) / n if n else 0.0
+
+    @property
+    def mean_slowdown(self) -> float:
+        n = len(self.records)
+        return sum(r.slowdown for r in self.records) / n if n else 0.0
+
+    @property
+    def p95_slowdown(self) -> float:
+        return _percentile(sorted(r.slowdown for r in self.records), 95.0)
+
+    @property
+    def throughput_apps_per_s(self) -> float:
+        """Completed applications per second of run horizon."""
+        return (
+            self.n_applications / (self.horizon_ms / 1e3)
+            if self.horizon_ms > 0
+            else 0.0
+        )
+
+    @property
+    def throughput_kernels_per_s(self) -> float:
+        return (
+            self.n_kernels / (self.horizon_ms / 1e3) if self.horizon_ms > 0 else 0.0
+        )
+
+    def rolling(self, window_ms: float) -> tuple[ServiceWindow, ...]:
+        """Fixed-width windows over [0, horizon] with arrival/completion
+        counts and mean response of the applications completing inside
+        each — the throughput timeline of the run."""
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if not self.records:
+            return ()
+        n_windows = max(1, math.ceil(self.horizon_ms / window_ms))
+        arrived = [0] * n_windows
+        completed = [0] * n_windows
+        resp_sum = [0.0] * n_windows
+        for r in self.records:
+            ai = min(int(r.arrival_ms // window_ms), n_windows - 1)
+            ci = min(int(r.finish_ms // window_ms), n_windows - 1)
+            arrived[ai] += 1
+            completed[ci] += 1
+            resp_sum[ci] += r.response_ms
+        return tuple(
+            ServiceWindow(
+                t_lo_ms=i * window_ms,
+                t_hi_ms=(i + 1) * window_ms,
+                arrived=arrived[i],
+                completed=completed[i],
+                mean_response_ms=resp_sum[i] / completed[i] if completed[i] else 0.0,
+            )
+            for i in range(n_windows)
+        )
+
+
+def rolling_utilization(
+    schedule: "Schedule | Iterable[ScheduleEntry]",
+    system: SystemConfig,
+    window_ms: float,
+    horizon_ms: float | None = None,
+) -> list[tuple[float, float, float]]:
+    """Mean processor-busy fraction per fixed-width window.
+
+    Returns ``(t_lo_ms, t_hi_ms, utilization)`` rows covering
+    ``[0, horizon]``; each entry's busy interval (transfer + compute) is
+    clipped into the windows it overlaps.  The utilization counterpart of
+    :meth:`ServiceMetrics.rolling` — together they show whether a policy
+    converts offered load into busy hardware or into queueing.
+    """
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    entries = list(schedule)
+    if horizon_ms is None:
+        horizon_ms = max((e.finish_time for e in entries), default=0.0)
+    if horizon_ms <= 0:
+        return []
+    n_windows = max(1, math.ceil(horizon_ms / window_ms))
+    busy = [0.0] * n_windows
+    for e in entries:
+        # clip busy intervals to the horizon, like the denominators —
+        # otherwise an explicit cutoff mid-run reports > 100% busy
+        lo = min(e.transfer_start, horizon_ms)
+        hi = min(e.finish_time, horizon_ms)
+        if hi <= lo:
+            continue
+        first = min(int(lo // window_ms), n_windows - 1)
+        last = min(int(hi // window_ms), n_windows - 1)
+        for i in range(first, last + 1):
+            w_lo, w_hi = i * window_ms, (i + 1) * window_ms
+            busy[i] += max(0.0, min(hi, w_hi) - max(lo, w_lo))
+    n_procs = max(len(system), 1)
+    return [
+        (
+            i * window_ms,
+            (i + 1) * window_ms,
+            busy[i] / (min((i + 1) * window_ms, horizon_ms) - i * window_ms)
+            / n_procs
+            if min((i + 1) * window_ms, horizon_ms) > i * window_ms
+            else 0.0,
+        )
+        for i in range(n_windows)
+    ]
+
+
+class ServiceAccumulator:
+    """Incremental per-application accounting.
+
+    Applications are registered (at admission) with their arrival time,
+    kernel count and isolated bound; every :class:`ScheduleEntry` is then
+    observed exactly once.  ``finalize`` requires every registered
+    application to have completed all its kernels.
+    """
+
+    def __init__(self) -> None:
+        # app_index -> [arrival, n_kernels, seen, first_start, finish,
+        #               compute, isolated]
+        self._apps: dict[int, list[float]] = {}
+
+    def register_app(
+        self,
+        app_index: int,
+        arrival_ms: float,
+        n_kernels: int,
+        isolated_ms: float,
+    ) -> None:
+        if app_index in self._apps:
+            raise ValueError(f"application {app_index} registered twice")
+        self._apps[app_index] = [
+            arrival_ms, float(n_kernels), 0.0, math.inf, 0.0, 0.0, isolated_ms
+        ]
+
+    def observe(self, app_index: int, entry: ScheduleEntry) -> None:
+        acc = self._apps[app_index]
+        acc[2] += 1.0
+        if entry.exec_start < acc[3]:
+            acc[3] = entry.exec_start
+        if entry.finish_time > acc[4]:
+            acc[4] = entry.finish_time
+        acc[5] += entry.exec_time
+
+    def finalize(self) -> ServiceMetrics:
+        records = []
+        for app_index in sorted(self._apps):
+            arrival, n, seen, first, finish, compute, isolated = self._apps[app_index]
+            if seen != n:  # pragma: no cover - defensive
+                raise ValueError(
+                    f"application {app_index}: {seen:.0f}/{n:.0f} kernels observed"
+                )
+            records.append(
+                AppServiceRecord(
+                    app_index=app_index,
+                    arrival_ms=arrival,
+                    n_kernels=int(n),
+                    first_start_ms=first,
+                    finish_ms=finish,
+                    compute_ms=compute,
+                    isolated_ms=isolated,
+                )
+            )
+        return ServiceMetrics.from_records(records)
+
+
+def compute_service_metrics(
+    schedule: "Schedule | Iterable[ScheduleEntry]",
+    spans: Sequence[AppSpan],
+    dfg: "DFG | None" = None,
+    cost: "CostModel | None" = None,
+) -> ServiceMetrics:
+    """Batch service metrics from a finished schedule and its app spans.
+
+    ``spans`` must be contiguous, ordered blocks (the merged-stream
+    renumbering).  With ``dfg`` and ``cost``, slowdown denominators are
+    the per-application :func:`isolated_lower_bound_ms`; without them,
+    slowdowns fall back to 1× (records still carry timing fields).
+    """
+    acc = ServiceAccumulator()
+    lows = [s.kid_lo for s in spans]
+    for i, span in enumerate(spans):
+        isolated = (
+            isolated_lower_bound_ms(dfg, range(span.kid_lo, span.kid_hi), cost)
+            if dfg is not None and cost is not None
+            else 0.0
+        )
+        acc.register_app(i, span.arrival_ms, span.n_kernels, isolated)
+    for entry in schedule:
+        idx = bisect.bisect_right(lows, entry.kernel_id) - 1
+        acc.observe(idx, entry)
+    return acc.finalize()

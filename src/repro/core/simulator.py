@@ -65,6 +65,20 @@ the *uncontended* estimate, corrected when the flow set resolves.
 rebuild-everything loop; ``tests/test_simulator_equivalence.py`` asserts
 the two produce bit-for-bit identical schedules.
 
+Open-system streams
+-------------------
+:meth:`Simulator.run` consumes one pre-merged DFG — the *closed* form,
+which caps stream length by memory.  :meth:`Simulator.run_stream`
+consumes an :class:`~repro.graphs.sources.ArrivalSource` instead: each
+application's kernels are admitted when its ``APP_ARRIVAL`` event fires
+(renumbered exactly as :meth:`~repro.graphs.streams.ApplicationStream.
+merged` would) and retired once completed with every successor started,
+so peak resident state tracks the stream's concurrency, not its length.
+Results carry per-application service metrics (response time, slowdown,
+throughput — :class:`~repro.core.metrics.ServiceMetrics`) beside the
+paper's schedule metrics, and the produced schedules are bit-for-bit
+identical to running the merged DFG through :meth:`Simulator.run`.
+
 Determinism: given the same DFG, system, lookup table and policy
 configuration, a run is bit-for-bit reproducible.
 """
@@ -78,7 +92,16 @@ from typing import Deque, Iterator
 from repro.core.cost import VALID_TRANSFER_MODES, CostModel
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.lookup import LookupTable
-from repro.core.metrics import SimulationMetrics, compute_metrics
+from repro.core.metrics import (
+    MetricsAccumulator,
+    ServiceAccumulator,
+    ServiceMetrics,
+    SimulationMetrics,
+    compute_metrics,
+    compute_service_metrics,
+    isolated_lower_bound_ms,
+    stream_app_spans,
+)
 from repro.core.schedule import Schedule, ScheduleEntry
 from repro.core.system import SystemConfig
 from repro.core.topology import ContentionManager
@@ -147,6 +170,82 @@ class _ReadyQueue:
         if self._tuple is None:
             self._tuple = tuple(self._d)
         return self._tuple
+
+
+class _ResidentGraph:
+    """Read-only DFG facade over the streaming path's *resident* state.
+
+    The open-system loop never materializes the merged graph; policies
+    reaching through ``ctx.dfg`` (or the context helpers) see exactly the
+    kernels currently admitted and not yet retired — arrived work only,
+    by construction.
+    """
+
+    __slots__ = ("name", "_specs", "_preds", "_succs")
+
+    def __init__(self, name, specs, preds, succs) -> None:
+        self.name = name
+        self._specs = specs
+        self._preds = preds
+        self._succs = succs
+
+    def spec(self, kid: int):
+        return self._specs[kid]
+
+    def predecessors(self, kid: int) -> list[int]:
+        return self._preds[kid]
+
+    def successors(self, kid: int) -> list[int]:
+        return self._succs[kid]
+
+    def kernel_ids(self) -> list[int]:
+        return sorted(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, kid: int) -> bool:
+        return kid in self._specs
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Bounded-memory bookkeeping of one ``run_stream`` execution.
+
+    ``peak_resident_kernels`` is the high-water mark of kernels whose
+    graph/bookkeeping state was held at once; for a lazily-generated
+    stream it tracks the stream's *concurrency* (arrival rate × service
+    time), not its length — the open-system memory guarantee asserted in
+    ``tests/test_simulator_stream.py``.
+    """
+
+    n_applications: int
+    n_kernels: int
+    retired_kernels: int
+    peak_resident_kernels: int
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Everything an open-system (``run_stream``) run produced.
+
+    ``schedule`` is ``None`` when the run was asked not to retain the
+    per-kernel log (``retain_schedule=False`` — the bounded-memory mode);
+    ``metrics`` and ``service`` are computed either way, identically.
+    """
+
+    schedule: Schedule | None
+    metrics: SimulationMetrics
+    service: ServiceMetrics
+    stream: StreamStats
+    policy_name: str
+    policy_stats: dict[str, object]
+    source_name: str
+    trace: StateTrace | None = None
+
+    @property
+    def makespan(self) -> float:
+        return self.metrics.makespan
 
 
 @dataclass(frozen=True)
@@ -303,6 +402,518 @@ class Simulator:
             driver = policy
 
         return self._simulate(dfg, policy, driver, arrivals or {})
+
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        source,
+        policy: Policy,
+        retain_schedule: bool = True,
+    ) -> StreamResult:
+        """Simulate an open-system stream of applications under ``policy``.
+
+        ``source`` is an :class:`~repro.graphs.sources.ArrivalSource`
+        (or any iterable of :class:`~repro.graphs.streams.
+        ApplicationArrival` in non-decreasing time order).  Applications
+        are *admitted* when their ``APP_ARRIVAL`` event fires — their
+        kernels are renumbered into the same contiguous id blocks
+        :meth:`~repro.graphs.streams.ApplicationStream.merged` produces —
+        and every kernel's bookkeeping is *retired* once it completed and
+        all its successors started, so peak resident state tracks the
+        stream's concurrency, not its length.  The schedules produced are
+        bit-for-bit identical to running the merged DFG through
+        :meth:`run` (asserted in ``tests/test_simulator_equivalence.py``).
+
+        Dynamic policies observe only arrived, unretired work.  A
+        *static* policy cannot plan a stream it has not seen: it is run
+        as the documented clairvoyant baseline — the source is
+        materialized and planned whole through the merged path (peak
+        resident kernels then equals the stream length).
+
+        ``retain_schedule=False`` drops each schedule entry after feeding
+        the metric accumulators — the bounded-memory mode for very long
+        streams; ``metrics``/``service`` are computed identically, but
+        ``schedule`` (and any trace) is ``None``.
+        """
+        from repro.graphs.sources import ArrivalSource, EagerSource
+
+        if not isinstance(policy, (DynamicPolicy, StaticPolicy)):
+            raise TypeError(
+                f"policy must be a DynamicPolicy or StaticPolicy, got {type(policy)!r}"
+            )
+        if not isinstance(source, ArrivalSource):
+            from repro.graphs.streams import ApplicationStream
+
+            if isinstance(source, ApplicationStream):
+                source = EagerSource(source)
+            else:
+                source = EagerSource(ApplicationStream(list(source)), name="stream")
+
+        if isinstance(policy, StaticPolicy):
+            stream = source.materialize()
+            merged, arrivals = stream.merged(name=source.name)
+            result = self.run(merged, policy, arrivals=arrivals)
+            spans = stream_app_spans(stream)
+            service = compute_service_metrics(
+                result.schedule, spans, dfg=merged, cost=self.cost
+            )
+            return StreamResult(
+                schedule=result.schedule if retain_schedule else None,
+                metrics=result.metrics,
+                service=service,
+                stream=StreamStats(
+                    n_applications=len(spans),
+                    n_kernels=len(merged),
+                    retired_kernels=0,
+                    peak_resident_kernels=len(merged),
+                ),
+                policy_name=result.policy_name,
+                policy_stats=result.policy_stats,
+                source_name=source.name,
+                trace=result.trace if retain_schedule else None,
+            )
+
+        policy.reset()
+        return self._simulate_stream(source, policy, policy, retain_schedule)
+
+    # ------------------------------------------------------------------
+    def _simulate_stream(
+        self,
+        source,
+        policy: Policy,
+        driver: DynamicPolicy,
+        retain_schedule: bool,
+    ) -> StreamResult:
+        """The event-driven open-system inner loop.
+
+        Mirrors :meth:`_simulate` exactly — same fixpoint, start, event
+        and contention handling — with three structural differences:
+        per-kernel tables are filled at ``APP_ARRIVAL`` admission instead
+        of up front, completed state is retired, and metrics may be
+        accumulated instead of recomputed from a retained schedule.
+        Divergence between the two loops is a bug; the equivalence suite
+        pins them together.
+        """
+        system = self.system
+        cost = self.cost
+        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in system}
+        proc_index = {p.name: i for i, p in enumerate(system)}
+        proc_names = tuple(procs)
+        specs: dict[int, object] = {}
+        preds_of: dict[int, list[int]] = {}
+        succs_of: dict[int, list[int]] = {}
+        arrival_of: dict[int, float] = {}
+        app_index_of: dict[int, int] = {}
+        remaining_preds: dict[int, int] = {}
+        # successors not yet started; retirement gate (with completion)
+        unstarted_succs: dict[int, int] = {}
+        ready = _ReadyQueue()
+        ready_time: dict[int, float] = {}
+        assign_time: dict[int, float] = {}
+        is_alternative: dict[int, bool] = {}
+        assignment_of: dict[int, str] = {}
+        completed: set[int] = set()
+        exec_history: dict[str, list[float]] = {p.name: [] for p in system}
+        events = EventQueue()
+        schedule: Schedule | None = Schedule() if retain_schedule else None
+        metrics_acc = None if retain_schedule else MetricsAccumulator(system)
+        service_acc = ServiceAccumulator()
+        now = 0.0
+        n_admitted = 0
+        n_completed = 0
+        n_retired = 0
+        n_apps = 0
+        n_alt = 0
+        peak_resident = 0
+        next_id = 0
+        noise: dict[int, float] = {}
+        noise_rng = None
+        if self.exec_noise_sigma > 0.0:
+            import numpy as _np
+
+            # One persistent stream consumed in admission (= merged id)
+            # order: the factor sequence matches _noise_factors exactly
+            # (same RNG, same _np.exp — bit-for-bit).
+            noise_rng = _np.random.default_rng(self.noise_seed)
+            noise_exp = _np.exp
+
+        topo = system.topology
+        contended = (
+            topo is not None and topo.contended and self.transfers_enabled
+        )
+        cman = ContentionManager(topo) if contended else None
+        pending_transfers: dict[int, list] = {}
+
+        def push_flow_estimates(estimates) -> None:
+            for est in estimates:
+                events.push(
+                    Event(
+                        est.finish_time,
+                        EventKind.TRANSFER_COMPLETE,
+                        payload=(est.key, est.version),
+                    )
+                )
+
+        views: dict[str, ProcessorView] = {}
+
+        def refresh_view(name: str) -> None:
+            st = procs[name]
+            views[name] = ProcessorView(
+                processor=system[name],
+                busy=st.running is not None,
+                free_at=st.free_at if st.free_at > now else now,
+                queue_length=len(st.queue),
+                running_kernel=st.running,
+            )
+
+        for name in procs:
+            refresh_view(name)
+
+        state_version = 0
+        time_sensitive = bool(getattr(driver, "time_sensitive", True))
+        last_empty: tuple[int, float | None] | None = None
+        transfer_memo: dict[tuple[int, str], float] = {}
+        resident = _ResidentGraph(source.name, specs, preds_of, succs_of)
+
+        # ------------------------------------------------------------------
+        def admit(app_dfg: DFG, arrival_ms: float) -> None:
+            """Admit one application: renumber, register, mark ready."""
+            nonlocal next_id, n_admitted, n_apps, peak_resident, state_version
+            ids = app_dfg.kernel_ids()
+            app_index = n_apps
+            n_apps += 1
+            lo = next_id
+            id_map: dict[int, int] = {}
+            for kid in ids:
+                nid = next_id
+                next_id += 1
+                id_map[kid] = nid
+                specs[nid] = app_dfg.spec(kid)
+                preds_of[nid] = []
+                succs_of[nid] = []
+                arrival_of[nid] = arrival_ms
+                app_index_of[nid] = app_index
+                if noise_rng is not None:
+                    noise[nid] = float(
+                        noise_exp(noise_rng.normal(0.0, self.exec_noise_sigma))
+                    )
+            for u, v in app_dfg.edges():
+                preds_of[id_map[v]].append(id_map[u])
+                succs_of[id_map[u]].append(id_map[v])
+            for kid in ids:
+                nid = id_map[kid]
+                remaining_preds[nid] = len(preds_of[nid])
+                unstarted_succs[nid] = len(succs_of[nid])
+                if remaining_preds[nid] == 0:
+                    ready_time[nid] = arrival_ms
+                    ready.add(nid)
+            n_admitted += len(ids)
+            state_version += 1
+            if len(specs) > peak_resident:
+                peak_resident = len(specs)
+            service_acc.register_app(
+                app_index,
+                arrival_ms,
+                len(ids),
+                isolated_lower_bound_ms(app_dfg, ids, cost),
+            )
+
+        def retire(kid: int) -> None:
+            """Free a kernel's bookkeeping once nothing can query it again."""
+            nonlocal n_retired
+            del specs[kid]
+            del preds_of[kid]
+            del succs_of[kid]
+            del arrival_of[kid]
+            del app_index_of[kid]
+            del remaining_preds[kid]
+            del unstarted_succs[kid]
+            assignment_of.pop(kid, None)
+            ready_time.pop(kid, None)
+            assign_time.pop(kid, None)
+            is_alternative.pop(kid, None)
+            noise.pop(kid, None)
+            completed.discard(kid)
+            n_retired += 1
+
+        def mark_started(kid: int) -> None:
+            """A kernel left the ready set for good: purge its memoized
+            transfer answers and release predecessors it was pinning."""
+            for pname in proc_names:
+                transfer_memo.pop((kid, pname), None)
+            for p in preds_of[kid]:
+                unstarted_succs[p] -= 1
+                if unstarted_succs[p] == 0 and p in completed:
+                    retire(p)
+
+        def record_entry(entry: ScheduleEntry) -> None:
+            nonlocal n_alt
+            if entry.used_alternative:
+                n_alt += 1
+            if schedule is not None:
+                schedule.add(entry)
+            else:
+                metrics_acc.observe(entry)
+            service_acc.observe(app_index_of[entry.kernel_id], entry)
+
+        def make_context() -> SchedulingContext:
+            return SchedulingContext(
+                time=now,
+                ready=ready.as_tuple(),
+                dfg=resident,  # type: ignore[arg-type]
+                system=system,
+                views=views,
+                assignment_of=assignment_of,
+                completed=completed,
+                exec_history=exec_history,
+                cost=cost,
+                predecessors_of=preds_of,
+                specs_of=specs,
+                transfer_memo=transfer_memo,
+            )
+
+        def start_if_possible(name: str) -> bool:
+            st = procs[name]
+            if st.running is not None or not st.queue:
+                return False
+            kid, alternative = st.queue.popleft()
+            spec = specs[kid]
+            transfer = cost.inbound_transfer(
+                resident, kid, name, assignment_of, preds_of[kid]  # type: ignore[arg-type]
+            )
+            exec_time = cost.exec_time(
+                spec.kernel, spec.data_size, system[name].ptype
+            ) * noise.get(kid, 1.0)
+            if contended and transfer > 0.0:
+                nbytes = spec.data_size * cost.element_size
+                sources = cost.transfer_flow_sources(
+                    preds_of[kid], assignment_of, name, nbytes
+                )
+                st.running = kid
+                st.free_at = now + transfer + exec_time
+                refresh_view(name)
+                exec_history[name].append(exec_time)
+                pending_transfers[kid] = [len(sources), name, exec_time, now]
+                mark_started(kid)
+                for src in sources:
+                    route = topo.route(src, name)
+                    if route.latency_ms > 0.0:
+                        events.push(
+                            Event(
+                                now + route.latency_ms,
+                                EventKind.TRANSFER_START,
+                                payload=((kid, src), nbytes),
+                            )
+                        )
+                    else:
+                        push_flow_estimates(cman.join((kid, src), route, nbytes, now))
+                return True
+            transfer_start = now
+            exec_start = now + transfer
+            finish = exec_start + exec_time
+            st.running = kid
+            st.free_at = finish
+            refresh_view(name)
+            exec_history[name].append(exec_time)
+            record_entry(
+                ScheduleEntry(
+                    kernel_id=kid,
+                    kernel=spec.kernel,
+                    data_size=spec.data_size,
+                    processor=name,
+                    ptype=system[name].ptype.value,
+                    ready_time=ready_time[kid],
+                    assign_time=assign_time[kid],
+                    transfer_start=transfer_start,
+                    exec_start=exec_start,
+                    finish_time=finish,
+                    used_alternative=is_alternative.get(kid, False),
+                    arrival_time=arrival_of[kid],
+                )
+            )
+            mark_started(kid)
+            events.push(Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name)))
+            return True
+
+        def apply_assignments(assignments: list[Assignment]) -> bool:
+            nonlocal state_version
+            progress = False
+            touched: set[str] = set()
+            for a in assignments:
+                if a.kernel_id not in ready:
+                    raise SchedulingError(
+                        f"{policy.name}: kernel {a.kernel_id} is not ready at t={now}"
+                    )
+                if a.processor not in procs:
+                    raise SchedulingError(
+                        f"{policy.name}: unknown processor {a.processor!r}"
+                    )
+                st = procs[a.processor]
+                if not a.queued and (st.running is not None or st.queue):
+                    raise SchedulingError(
+                        f"{policy.name}: non-queued assignment of kernel "
+                        f"{a.kernel_id} to busy processor {a.processor} at t={now}"
+                    )
+                ready.remove(a.kernel_id)
+                assignment_of[a.kernel_id] = a.processor
+                assign_time[a.kernel_id] = now
+                is_alternative[a.kernel_id] = a.alternative
+                st.queue.append((a.kernel_id, a.alternative))
+                refresh_view(a.processor)
+                touched.add(a.processor)
+                progress = True
+            if touched:
+                state_version += 1
+                for name in sorted(touched, key=proc_index.__getitem__):
+                    if start_if_possible(name):
+                        progress = True
+            return progress
+
+        # arrival pipeline --------------------------------------------------
+        arrival_iter = source.arrivals() if hasattr(source, "arrivals") else iter(source)
+        pending = next(arrival_iter, None)
+        # applications arriving at t=0 are resident from the start, exactly
+        # like the merged path's arrival_ms == 0 kernels (no events).
+        while pending is not None and pending.arrival_ms == 0.0:
+            admit(pending.dfg, 0.0)
+            pending = next(arrival_iter, None)
+        if pending is not None:
+            events.push(Event(pending.arrival_ms, EventKind.APP_ARRIVAL))
+
+        # main loop ---------------------------------------------------------
+        while n_completed < n_admitted or pending is not None:
+            for _ in range(max(n_admitted, 1) * len(procs) + 2):
+                if ready:
+                    sig = (state_version, now if time_sensitive else None)
+                    if last_empty == sig:
+                        assignments = []
+                    else:
+                        assignments = list(driver.select(make_context()))
+                        if not assignments:
+                            last_empty = sig
+                else:
+                    assignments = []
+                if not apply_assignments(assignments):
+                    break
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"{policy.name}: assignment loop did not converge at t={now}"
+                )
+
+            if not events:
+                raise SchedulingError(
+                    f"{policy.name}: deadlock at t={now} — "
+                    f"{n_admitted - n_completed} kernels unfinished, no events pending "
+                    f"(ready={list(ready)})"
+                )
+
+            batch = events.pop_simultaneous()
+            if batch[0].time != now:
+                now = batch[0].time
+                for vname, view in views.items():
+                    if view.free_at < now:
+                        refresh_view(vname)
+            for ev in batch:
+                now = ev.time
+                if ev.kind is EventKind.APP_ARRIVAL:
+                    # admit the pending application plus any others landing
+                    # at the exact same instant (they must share the batch,
+                    # as their KERNEL_READY events would in the merged path)
+                    t = ev.time
+                    while pending is not None and pending.arrival_ms == t:
+                        admit(pending.dfg, t)
+                        pending = next(arrival_iter, None)
+                    if pending is not None:
+                        events.push(Event(pending.arrival_ms, EventKind.APP_ARRIVAL))
+                    continue
+                if ev.kind is EventKind.TRANSFER_START:
+                    (kid, src), nbytes = ev.payload
+                    route = topo.route(src, pending_transfers[kid][1])
+                    push_flow_estimates(cman.join((kid, src), route, nbytes, now))
+                    continue
+                if ev.kind is EventKind.TRANSFER_COMPLETE:
+                    key, version = ev.payload
+                    estimates = cman.complete(key, version, now)
+                    if estimates is None:
+                        continue
+                    push_flow_estimates(estimates)
+                    kid = key[0]
+                    pend = pending_transfers[kid]
+                    pend[0] -= 1
+                    if pend[0] > 0:
+                        continue
+                    _, name, exec_time, transfer_start = pend
+                    del pending_transfers[kid]
+                    st = procs[name]
+                    finish = now + exec_time
+                    st.free_at = finish
+                    refresh_view(name)
+                    state_version += 1
+                    spec = specs[kid]
+                    record_entry(
+                        ScheduleEntry(
+                            kernel_id=kid,
+                            kernel=spec.kernel,
+                            data_size=spec.data_size,
+                            processor=name,
+                            ptype=system[name].ptype.value,
+                            ready_time=ready_time[kid],
+                            assign_time=assign_time[kid],
+                            transfer_start=transfer_start,
+                            exec_start=now,
+                            finish_time=finish,
+                            used_alternative=is_alternative.get(kid, False),
+                            arrival_time=arrival_of[kid],
+                        )
+                    )
+                    events.push(
+                        Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name))
+                    )
+                    continue
+                kid, name = ev.payload
+                st = procs[name]
+                if st.running != kid:  # pragma: no cover - defensive
+                    raise SchedulingError(
+                        f"completion event for kernel {kid} on {name}, "
+                        f"but {st.running} is running"
+                    )
+                st.running = None
+                refresh_view(name)
+                completed.add(kid)
+                n_completed += 1
+                state_version += 1
+                for succ in succs_of[kid]:
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0:
+                        ready_time[succ] = now
+                        ready.add(succ)
+                if unstarted_succs[kid] == 0:
+                    retire(kid)
+                start_if_possible(name)
+
+        stats = policy.stats()
+        metrics = (
+            compute_metrics(schedule, system, n_alternative_assignments=n_alt)
+            if schedule is not None
+            else metrics_acc.finalize(n_alternative_assignments=n_alt)
+        )
+        return StreamResult(
+            schedule=schedule,
+            metrics=metrics,
+            service=service_acc.finalize(),
+            stream=StreamStats(
+                n_applications=n_apps,
+                n_kernels=n_admitted,
+                retired_kernels=n_retired,
+                peak_resident_kernels=peak_resident,
+            ),
+            policy_name=policy.name,
+            policy_stats=stats,
+            source_name=source.name,
+            trace=StateTrace.from_schedule(schedule, system)
+            if self.collect_trace and schedule is not None
+            else None,
+        )
 
     # ------------------------------------------------------------------
     def _noise_factors(self, dfg: DFG) -> dict[int, float]:

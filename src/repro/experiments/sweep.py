@@ -44,9 +44,12 @@ import tempfile
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import AppSpan
 from repro.core.lookup import LookupTable
 from repro.core.simulator import Simulator
 from repro.core.system import Processor, ProcessorType, SystemConfig
@@ -66,7 +69,12 @@ from repro.policies.registry import get_policy
 #: graph, including its contention switch), so topology-shaped systems
 #: hash differently from flat ones even when their uncontended costs
 #: coincide.
-SWEEP_FORMAT_VERSION = 3
+#: v4: open-system support — the payload gained ``app_spans`` (per-
+#: application kernel-id blocks for service-level metrics) and
+#: ``source`` (the declarative arrival-source description), so the cache
+#: key is arrival-source-aware; results gained the service-level fields
+#: (response time, slowdown, throughput).
+SWEEP_FORMAT_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +252,14 @@ class SweepJob:
     power_model: dict[str, object] | None = None
     tag: dict[str, object] = field(default_factory=dict)
     lookup_interpolate: bool = True
+    #: per-application kernel-id blocks ``[arrival_ms, kid_lo, kid_hi]``;
+    #: presence turns on service-level metrics in the result.
+    app_spans: list[list[float]] | None = None
+    #: declarative arrival-source description (open-system workloads);
+    #: part of the content hash, so two streams with coincidentally
+    #: identical merged DFGs but different declared sources never share
+    #: a cache entry.
+    source: dict[str, object] | None = None
     #: Optional precomputed digest of ``lookup`` (set by :func:`make_job`);
     #: purely a hashing shortcut, never semantics.
     lookup_digest: str | None = field(default=None, compare=False)
@@ -268,6 +284,8 @@ class SweepJob:
             "power_model": self.power_model
             if self.power_model is not None
             else power_model_to_dict(DEFAULT_POWER_MODEL),
+            "app_spans": self.app_spans,
+            "source": self.source,
             "provider": None,
         }
 
@@ -342,6 +360,13 @@ def _dfg_dict(dfg: DFG) -> dict[str, object]:
     return entry[1]
 
 
+def app_spans_to_payload(spans: "Sequence[AppSpan] | None") -> list[list[float]] | None:
+    """JSON-safe ``[arrival_ms, kid_lo, kid_hi]`` rows (``None`` passes through)."""
+    if spans is None:
+        return None
+    return [[float(s.arrival_ms), int(s.kid_lo), int(s.kid_hi)] for s in spans]
+
+
 def make_job(
     dfg: DFG,
     policy: PolicySpec,
@@ -351,6 +376,8 @@ def make_job(
     arrivals: Mapping[int, float] | None = None,
     power_model: PowerModel | None = None,
     tag: Mapping[str, object] | None = None,
+    app_spans: "Sequence[AppSpan] | None" = None,
+    source: Mapping[str, object] | None = None,
 ) -> SweepJob:
     """Serialize live objects into a :class:`SweepJob`."""
     records, digest = _lookup_records(lookup)
@@ -365,12 +392,20 @@ def make_job(
         tag=dict(tag) if tag else {},
         lookup_interpolate=lookup.interpolate,
         lookup_digest=digest,
+        app_spans=app_spans_to_payload(app_spans),
+        source=dict(source) if source else None,
     )
 
 
 @dataclass(frozen=True)
 class JobResult:
-    """Flattened outcome of one job (everything the reports aggregate)."""
+    """Flattened outcome of one job (everything the reports aggregate).
+
+    The service-level block (``n_applications`` onward) is zero for
+    closed-system jobs; it is populated when the job carried
+    ``app_spans`` — the open-system accounting of
+    :mod:`repro.core.metrics`.
+    """
 
     job_hash: str
     dfg_name: str
@@ -384,6 +419,12 @@ class JobResult:
     alternative_by_kernel: Mapping[str, int]
     energy_joules: float
     energy_delay_product: float
+    n_applications: int = 0
+    mean_response_ms: float = 0.0
+    p95_response_ms: float = 0.0
+    mean_queueing_ms: float = 0.0
+    mean_slowdown: float = 0.0
+    throughput_apps_per_s: float = 0.0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -400,6 +441,12 @@ class JobResult:
             "alternative_by_kernel": dict(sorted(self.alternative_by_kernel.items())),
             "energy_joules": self.energy_joules,
             "energy_delay_product": self.energy_delay_product,
+            "n_applications": self.n_applications,
+            "mean_response_ms": self.mean_response_ms,
+            "p95_response_ms": self.p95_response_ms,
+            "mean_queueing_ms": self.mean_queueing_ms,
+            "mean_slowdown": self.mean_slowdown,
+            "throughput_apps_per_s": self.throughput_apps_per_s,
         }
 
     @classmethod
@@ -420,6 +467,12 @@ class JobResult:
             },
             energy_joules=float(data["energy_joules"]),  # type: ignore[arg-type]
             energy_delay_product=float(data["energy_delay_product"]),  # type: ignore[arg-type]
+            n_applications=int(data.get("n_applications", 0)),  # type: ignore[arg-type]
+            mean_response_ms=float(data.get("mean_response_ms", 0.0)),  # type: ignore[arg-type]
+            p95_response_ms=float(data.get("p95_response_ms", 0.0)),  # type: ignore[arg-type]
+            mean_queueing_ms=float(data.get("mean_queueing_ms", 0.0)),  # type: ignore[arg-type]
+            mean_slowdown=float(data.get("mean_slowdown", 0.0)),  # type: ignore[arg-type]
+            throughput_apps_per_s=float(data.get("throughput_apps_per_s", 0.0)),  # type: ignore[arg-type]
         )
 
 
@@ -462,6 +515,27 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
     for entry in result.schedule:
         if entry.used_alternative:
             alt_by_kernel[entry.kernel] = alt_by_kernel.get(entry.kernel, 0) + 1
+
+    raw_spans = payload.get("app_spans")
+    service_fields: dict[str, object] = {}
+    if raw_spans:
+        from repro.core.metrics import AppSpan, compute_service_metrics
+
+        spans = tuple(
+            AppSpan(float(a), int(lo), int(hi)) for a, lo, hi in raw_spans  # type: ignore[union-attr]
+        )
+        service = compute_service_metrics(
+            result.schedule, spans, dfg=dfg, cost=sim.cost
+        )
+        service_fields = {
+            "n_applications": service.n_applications,
+            "mean_response_ms": service.mean_response_ms,
+            "p95_response_ms": service.p95_response_ms,
+            "mean_queueing_ms": service.mean_queueing_ms,
+            "mean_slowdown": service.mean_slowdown,
+            "throughput_apps_per_s": service.throughput_apps_per_s,
+        }
+
     key = payload.get("job_hash") or hash_payload(payload)
     return JobResult(
         job_hash=str(key),
@@ -476,6 +550,7 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
         alternative_by_kernel=alt_by_kernel,
         energy_joules=energy.total_joules,
         energy_delay_product=energy.energy_delay_product,
+        **service_fields,  # type: ignore[arg-type]
     ).to_dict()
 
 
@@ -744,6 +819,7 @@ __all__ = [
     "SerialExecutor",
     "ProcessPoolExecutor",
     "ResultCache",
+    "app_spans_to_payload",
     "execute_payload",
     "job_hash",
     "make_job",

@@ -10,8 +10,11 @@ paper (see docs/architecture.md, "Reproduction notes").
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.core.metrics import AppSpan, stream_app_spans
 from repro.core.system import CPU_GPU_FPGA, SystemConfig
 from repro.data.paper_tables import PAPER_GRAPH_SIZES
 from repro.graphs.dfg import DFG
@@ -22,6 +25,13 @@ from repro.graphs.generators import (
     make_pipeline_dfg,
     make_type1_dfg,
     make_type2_dfg,
+)
+from repro.graphs.sources import (
+    BurstProfile,
+    DiurnalProfile,
+    GeneratorSource,
+    PoissonProfile,
+    RateProfile,
 )
 from repro.graphs.streams import ApplicationStream, poisson_stream
 
@@ -169,9 +179,22 @@ def streaming_scale_workload(
 # declarative workload kinds (the scenario registry's vocabulary)
 # ----------------------------------------------------------------------
 
-#: One workload unit: a DFG plus its per-kernel arrival map (``None``
-#: for submitted-at-once workloads).
-WorkloadUnit = tuple[DFG, "dict[int, float] | None"]
+
+@dataclass(frozen=True)
+class WorkloadUnit:
+    """One simulation unit a workload expands to.
+
+    ``arrivals`` is the per-kernel arrival map (``None`` for
+    submitted-at-once workloads); ``app_spans`` attributes kernel-id
+    blocks to applications for service-level metrics; ``source``
+    optionally carries the declarative arrival-source description, which
+    the sweep engine folds into the job's cache key.
+    """
+
+    dfg: DFG
+    arrivals: "dict[int, float] | None" = None
+    app_spans: "tuple[AppSpan, ...] | None" = None
+    source: "dict[str, object] | None" = None
 
 
 def _paper_suite_workload(
@@ -180,7 +203,7 @@ def _paper_suite_workload(
     suite = paper_suite(dfg_type, seed)
     if n_graphs is not None:
         suite = suite[:n_graphs]
-    return [(dfg, None) for dfg in suite]
+    return [WorkloadUnit(dfg) for dfg in suite]
 
 
 def _streaming_workload(
@@ -188,8 +211,21 @@ def _streaming_workload(
     seed: int = DEFAULT_SEED,
     mean_interarrival_ms: float = 3000.0,
 ) -> list[WorkloadUnit]:
-    dfg, arrivals = streaming_scale_workload(n_kernels, seed, mean_interarrival_ms)
-    return [(dfg, arrivals)]
+    stream = streaming_scale_stream(n_kernels, seed, mean_interarrival_ms)
+    dfg, arrivals = stream.merged(name=f"scale_stream_n{stream.n_kernels}_s{seed}")
+    return [
+        WorkloadUnit(
+            dfg,
+            arrivals=arrivals,
+            app_spans=stream_app_spans(stream),
+            source={
+                "kind": "streaming",
+                "n_kernels": n_kernels,
+                "seed": seed,
+                "mean_interarrival_ms": mean_interarrival_ms,
+            },
+        )
+    ]
 
 
 def _pipeline_workload(
@@ -203,7 +239,139 @@ def _pipeline_workload(
         stage_width=stage_width,
         name=f"pipeline_n{n_kernels}_s{seed}",
     )
-    return [(dfg, None)]
+    return [WorkloadUnit(dfg)]
+
+
+# ----------------------------------------------------------------------
+# open-system workloads (arrival-rate-parameterized streams)
+# ----------------------------------------------------------------------
+
+
+def mixed_application_factory(
+    min_kernels: int = 8,
+    max_kernels: int = 16,
+    population: KernelPopulation = PAPER_KERNEL_POPULATION,
+):
+    """Applications cycling through the three stream shapes.
+
+    Each application draws its kernel count uniformly in
+    ``[min_kernels, max_kernels]`` and takes the paper's Type-1 shape, a
+    fork-join or a short pipeline by index — the same mix as
+    :func:`streaming_scale_stream`, but sized lazily so a
+    :class:`~repro.graphs.sources.GeneratorSource` can build applications
+    on demand.
+    """
+    if not (1 <= min_kernels <= max_kernels):
+        raise ValueError("need 1 <= min_kernels <= max_kernels")
+
+    def factory(i: int, rng: np.random.Generator) -> DFG:
+        n = int(rng.integers(min_kernels, max_kernels + 1))
+        shape = i % 3
+        if shape == 0:
+            return make_type1_dfg(n, rng=rng, population=population, name=f"app{i}_t1")
+        if shape == 1:
+            return make_fork_join_dfg(
+                max(n - 2, 1), rng=rng, population=population, name=f"app{i}_fj"
+            )
+        return make_pipeline_dfg(
+            n, rng=rng, population=population, stage_width=4, name=f"app{i}_pipe"
+        )
+
+    return factory
+
+
+def open_system_profile(profile: str = "poisson", **params: object) -> RateProfile:
+    """Build the :class:`~repro.graphs.sources.RateProfile` of an
+    open-system workload from flat, JSON-safe parameters.
+
+    Unknown parameters raise ``TypeError`` — a spec typo must fail
+    loudly, not silently fall back to a default rate.
+    """
+    if profile == "poisson":
+        out: RateProfile = PoissonProfile(
+            mean_interarrival_ms=float(params.pop("mean_interarrival_ms", 1000.0)),  # type: ignore[arg-type]
+        )
+    elif profile == "burst":
+        out = BurstProfile(
+            burst_size=int(params.pop("burst_size", 5)),  # type: ignore[arg-type]
+            within_burst_ms=float(params.pop("within_burst_ms", 50.0)),  # type: ignore[arg-type]
+            between_bursts_ms=float(params.pop("between_bursts_ms", 5000.0)),  # type: ignore[arg-type]
+        )
+    elif profile == "diurnal":
+        out = DiurnalProfile(
+            base_mean_ms=float(params.pop("base_mean_ms", 1000.0)),  # type: ignore[arg-type]
+            amplitude=float(params.pop("amplitude", 0.8)),  # type: ignore[arg-type]
+            period_ms=float(params.pop("period_ms", 30_000.0)),  # type: ignore[arg-type]
+        )
+    else:
+        raise ValueError(f"unknown open-system profile {profile!r}")
+    if params:
+        raise TypeError(
+            f"unknown parameters for {profile!r} profile: {sorted(params)}"
+        )
+    return out
+
+
+def open_system_source(
+    n_applications: int = 24,
+    seed: int = DEFAULT_SEED,
+    profile: str = "poisson",
+    min_kernels: int = 8,
+    max_kernels: int = 16,
+    **profile_params: object,
+) -> GeneratorSource:
+    """A lazy open-system arrival source over the mixed application pool."""
+    rate = open_system_profile(profile, **profile_params)
+    return GeneratorSource(
+        n_applications,
+        mixed_application_factory(min_kernels, max_kernels),
+        rate,
+        seed=seed,
+        name=f"open_{profile}_a{n_applications}_s{seed}",
+    )
+
+
+def _open_system_workload(
+    n_applications: int = 24,
+    seed: int = DEFAULT_SEED,
+    profile: str = "poisson",
+    min_kernels: int = 8,
+    max_kernels: int = 16,
+    **profile_params: object,
+) -> list[WorkloadUnit]:
+    """The merged (closed-form) unit of an open-system stream.
+
+    The sweep engine executes merged DFGs; the ``source`` descriptor and
+    ``app_spans`` carry the open-system identity into the cache key and
+    the service-metric computation.  ``Simulator.run_stream`` on
+    :func:`open_system_source` with the same parameters reproduces these
+    schedules bit-for-bit.
+    """
+    source = open_system_source(
+        n_applications,
+        seed,
+        profile,
+        min_kernels,
+        max_kernels,
+        **profile_params,
+    )
+    stream = source.materialize()
+    dfg, arrivals = stream.merged(name=source.name)
+    return [
+        WorkloadUnit(
+            dfg,
+            arrivals=arrivals,
+            app_spans=stream_app_spans(stream),
+            source={
+                "kind": "open_system",
+                "n_applications": n_applications,
+                "seed": seed,
+                "profile": source.profile.to_dict(),
+                "min_kernels": min_kernels,
+                "max_kernels": max_kernels,
+            },
+        )
+    ]
 
 
 #: kind name → builder.  Every builder takes only JSON-safe keyword
@@ -214,6 +382,7 @@ WORKLOAD_KINDS = {
     "paper_suite": _paper_suite_workload,
     "streaming": _streaming_workload,
     "pipeline": _pipeline_workload,
+    "open_system": _open_system_workload,
 }
 
 

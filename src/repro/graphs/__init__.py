@@ -36,6 +36,16 @@ from repro.graphs.streams import (
     periodic_stream,
     poisson_stream,
 )
+from repro.graphs.sources import (
+    ArrivalSource,
+    BurstProfile,
+    DiurnalProfile,
+    EagerSource,
+    GeneratorSource,
+    PoissonProfile,
+    RateProfile,
+    profile_from_dict,
+)
 
 __all__ = [
     "DFG",
@@ -58,6 +68,14 @@ __all__ = [
     "ApplicationStream",
     "poisson_stream",
     "periodic_stream",
+    "ArrivalSource",
+    "EagerSource",
+    "GeneratorSource",
+    "RateProfile",
+    "PoissonProfile",
+    "BurstProfile",
+    "DiurnalProfile",
+    "profile_from_dict",
     "dfg_to_dict",
     "dfg_from_dict",
     "save_dfg",

@@ -1,0 +1,307 @@
+"""Arrival sources: the open-system side of application streams.
+
+An :class:`~repro.graphs.streams.ApplicationStream` is a *materialized*
+sequence of arrivals — every application DFG lives in memory at once,
+which caps stream length long before the simulator does.  This module
+provides the lazy counterpart: an :class:`ArrivalSource` yields
+:class:`~repro.graphs.streams.ApplicationArrival` objects one at a time,
+in non-decreasing arrival order, so the simulator's streaming path
+(``Simulator.run_stream``) can admit applications as they arrive and
+retire them as they complete — peak resident state then tracks the
+*concurrency* of the stream, not its length.
+
+Three source families:
+
+* :class:`EagerSource` — wraps an existing ``ApplicationStream``
+  (everything already in memory; the closed-system baseline);
+* :class:`GeneratorSource` — builds each application's DFG on demand
+  from a factory and draws inter-arrival gaps from a
+  :class:`RateProfile`;
+* rate profiles — :class:`PoissonProfile` (memoryless, constant rate),
+  :class:`BurstProfile` (tight bursts separated by quiet gaps) and
+  :class:`DiurnalProfile` (sinusoidally rate-modulated Poisson), all
+  deterministic for a fixed seed and serializable for scenario specs.
+
+Determinism contract: a source's arrival sequence — times, DFG shapes,
+kernel specs — is bit-for-bit reproducible from its constructor
+arguments, in any process (guarded by ``tests/test_sources.py``).  In
+particular, ``GeneratorSource(n, factory, PoissonProfile(m), seed)``
+reproduces ``poisson_stream(n, m, factory, default_rng(seed))`` exactly:
+both consume one RNG in the same order (DFG first, then the gap).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.graphs.dfg import DFG
+from repro.graphs.streams import ApplicationArrival, ApplicationStream
+
+
+# ----------------------------------------------------------------------
+# rate profiles
+# ----------------------------------------------------------------------
+class RateProfile(abc.ABC):
+    """An inter-arrival-gap process: how fast applications arrive.
+
+    ``gap_ms(index, now_ms, rng)`` returns the gap between arrival
+    ``index`` (already placed at ``now_ms``) and arrival ``index + 1``.
+    Implementations must be deterministic in ``(index, now_ms)`` and the
+    RNG stream, and must serialize via ``to_dict``/:func:`profile_from_dict`
+    so declarative scenario specs can carry them.
+    """
+
+    #: registry key; set by each concrete profile.
+    kind: str = ""
+
+    @abc.abstractmethod
+    def gap_ms(self, index: int, now_ms: float, rng: np.random.Generator) -> float:
+        """Gap (ms) between arrival ``index`` at ``now_ms`` and the next."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe form: ``{"kind": ..., <parameters>}``."""
+
+
+@dataclass(frozen=True)
+class PoissonProfile(RateProfile):
+    """Memoryless arrivals: exponential gaps with a constant mean."""
+
+    mean_interarrival_ms: float
+    kind = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival_ms <= 0:
+            raise ValueError("mean_interarrival_ms must be positive")
+
+    def gap_ms(self, index: int, now_ms: float, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_interarrival_ms))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "mean_interarrival_ms": self.mean_interarrival_ms}
+
+
+@dataclass(frozen=True)
+class BurstProfile(RateProfile):
+    """Bursty arrivals: ``burst_size`` back-to-back applications
+    (``within_burst_ms`` apart), then a quiet gap of ``between_bursts_ms``.
+
+    Gaps are deterministic — the profile draws nothing from the RNG —
+    which makes burst scenarios exactly reproducible and easy to reason
+    about (the worst case for admission control is a *synchronized*
+    burst, not a jittered one).
+    """
+
+    burst_size: int
+    within_burst_ms: float
+    between_bursts_ms: float
+    kind = "burst"
+
+    def __post_init__(self) -> None:
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if self.within_burst_ms < 0 or self.between_bursts_ms < 0:
+            raise ValueError("burst gaps must be >= 0")
+
+    def gap_ms(self, index: int, now_ms: float, rng: np.random.Generator) -> float:
+        if (index + 1) % self.burst_size == 0:
+            return self.between_bursts_ms
+        return self.within_burst_ms
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "burst_size": self.burst_size,
+            "within_burst_ms": self.within_burst_ms,
+            "between_bursts_ms": self.between_bursts_ms,
+        }
+
+
+@dataclass(frozen=True)
+class DiurnalProfile(RateProfile):
+    """Sinusoidally rate-modulated Poisson arrivals (a day/night cycle).
+
+    The instantaneous arrival rate at time *t* is
+    ``(1 + amplitude * sin(2π t / period_ms)) / base_mean_ms``; each gap
+    is exponential with the reciprocal mean.  ``amplitude`` in [0, 1):
+    0 degenerates to :class:`PoissonProfile`, values near 1 swing between
+    near-idle troughs and ``1/(1 - amplitude)``-times-base peaks.
+    """
+
+    base_mean_ms: float
+    amplitude: float
+    period_ms: float
+    kind = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.base_mean_ms <= 0:
+            raise ValueError("base_mean_ms must be positive")
+        if not (0.0 <= self.amplitude < 1.0):
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+
+    def gap_ms(self, index: int, now_ms: float, rng: np.random.Generator) -> float:
+        rate_factor = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * now_ms / self.period_ms
+        )
+        return float(rng.exponential(self.base_mean_ms / rate_factor))
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "base_mean_ms": self.base_mean_ms,
+            "amplitude": self.amplitude,
+            "period_ms": self.period_ms,
+        }
+
+
+PROFILE_KINDS: dict[str, type] = {
+    "poisson": PoissonProfile,
+    "burst": BurstProfile,
+    "diurnal": DiurnalProfile,
+}
+
+
+def profile_from_dict(data: Mapping[str, object]) -> RateProfile:
+    """Inverse of ``RateProfile.to_dict``."""
+    kind = str(data.get("kind", ""))
+    cls = PROFILE_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown rate profile kind {kind!r}; available: {sorted(PROFILE_KINDS)}"
+        )
+    params = {k: v for k, v in data.items() if k != "kind"}
+    return cls(**params)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+class ArrivalSource(abc.ABC):
+    """A (possibly lazy) producer of application arrivals.
+
+    ``arrivals()`` yields :class:`ApplicationArrival` objects in
+    non-decreasing ``arrival_ms`` order — the contract the simulator's
+    streaming admission depends on (violations raise at iteration time).
+    """
+
+    #: human-readable identifier (used as the run's DFG name).
+    name: str = "source"
+
+    @abc.abstractmethod
+    def _generate(self) -> Iterator[ApplicationArrival]:
+        """Yield arrivals; concrete sources implement this."""
+
+    def arrivals(self) -> Iterator[ApplicationArrival]:
+        """The checked arrival iterator (enforces time ordering)."""
+        last = 0.0
+        for arrival in self._generate():
+            if arrival.arrival_ms < last:
+                raise ValueError(
+                    f"{type(self).__name__} yielded arrivals out of order: "
+                    f"{arrival.arrival_ms} after {last}"
+                )
+            last = arrival.arrival_ms
+            yield arrival
+
+    def __iter__(self) -> Iterator[ApplicationArrival]:
+        return self.arrivals()
+
+    def materialize(self) -> ApplicationStream:
+        """Realize the whole source as an eager :class:`ApplicationStream`.
+
+        Requires the source to be finite; the result holds every
+        application in memory (the clairvoyant-baseline form static
+        policies plan on).
+        """
+        return ApplicationStream(list(self.arrivals()))
+
+
+class EagerSource(ArrivalSource):
+    """An already-materialized stream, exposed through the source API."""
+
+    def __init__(self, stream: ApplicationStream, name: str = "stream") -> None:
+        self.stream = stream
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def _generate(self) -> Iterator[ApplicationArrival]:
+        return iter(self.stream)
+
+    def materialize(self) -> ApplicationStream:
+        return self.stream
+
+
+class GeneratorSource(ArrivalSource):
+    """A lazy source: DFGs built on demand, gaps drawn from a profile.
+
+    Parameters
+    ----------
+    n_applications:
+        How many applications the stream carries.
+    application_factory:
+        ``factory(index, rng) -> DFG`` builds each application when (and
+        only when) the stream reaches it.
+    profile:
+        The :class:`RateProfile` producing inter-arrival gaps.
+    seed:
+        Seed of the single RNG threaded through factory and profile, in
+        strict alternation (DFG ``i``, then gap ``i → i+1``) — the same
+        consumption order as :func:`~repro.graphs.streams.poisson_stream`,
+        so eager and lazy forms of one stream are bit-for-bit identical.
+    start_ms:
+        Arrival time of the first application (default 0, so the system
+        never idles on an empty queue at start).
+    """
+
+    def __init__(
+        self,
+        n_applications: int,
+        application_factory: Callable[[int, np.random.Generator], DFG],
+        profile: RateProfile,
+        seed: int,
+        start_ms: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if n_applications < 1:
+            raise ValueError("need at least one application")
+        if start_ms < 0:
+            raise ValueError("start_ms must be >= 0")
+        self.n_applications = int(n_applications)
+        self.application_factory = application_factory
+        self.profile = profile
+        self.seed = int(seed)
+        self.start_ms = float(start_ms)
+        self.name = name or f"{profile.kind}_stream_n{n_applications}_s{seed}"
+
+    def __len__(self) -> int:
+        return self.n_applications
+
+    def _generate(self) -> Iterator[ApplicationArrival]:
+        rng = np.random.default_rng(self.seed)
+        t = self.start_ms
+        for i in range(self.n_applications):
+            dfg = self.application_factory(i, rng)
+            yield ApplicationArrival(dfg, t)
+            t += float(self.profile.gap_ms(i, t, rng))
+
+
+__all__ = [
+    "ArrivalSource",
+    "EagerSource",
+    "GeneratorSource",
+    "RateProfile",
+    "PoissonProfile",
+    "BurstProfile",
+    "DiurnalProfile",
+    "PROFILE_KINDS",
+    "profile_from_dict",
+]

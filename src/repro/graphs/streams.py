@@ -62,9 +62,25 @@ class ApplicationStream:
         return sum(len(a.dfg) for a in self._arrivals)
 
     @property
-    def span_ms(self) -> float:
-        """Arrival time of the last application."""
+    def last_arrival_ms(self) -> float:
+        """Arrival time of the last application to join the stream.
+
+        This is an *input* property of the stream — distinct from the
+        run's **horizon** (when the last kernel finishes), which depends
+        on the policy and platform and lives in the simulation's metrics
+        (``SimulationMetrics.makespan`` / ``ServiceMetrics.horizon_ms``).
+        """
         return self._arrivals[-1].arrival_ms
+
+    @property
+    def span_ms(self) -> float:
+        """Alias of :attr:`last_arrival_ms` (kept for back-compat).
+
+        Note this is the span of the *arrival process only* — the time
+        over which applications keep joining — not the execution horizon;
+        a saturated system finishes long after the last arrival.
+        """
+        return self.last_arrival_ms
 
     def merged(self, name: str = "stream") -> tuple[DFG, dict[int, float]]:
         """One DFG plus the per-kernel arrival map for ``Simulator.run``."""

@@ -105,7 +105,7 @@ class APT(DynamicPolicy):
                     best_alt, best_cost = name, cost
             if best_alt is not None:
                 del avail[best_alt]
-                kernel_name = ctx.dfg.spec(kid).kernel
+                kernel_name = ctx.spec(kid).kernel
                 self._alt_by_kernel[kernel_name] = (
                     self._alt_by_kernel.get(kernel_name, 0) + 1
                 )

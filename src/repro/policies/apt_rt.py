@@ -63,7 +63,7 @@ class APT_RT(APT):
                     best_alt, best_cost = proc.name, cost
             if best_alt is not None:
                 taken.add(best_alt)
-                kernel_name = ctx.dfg.spec(kid).kernel
+                kernel_name = ctx.spec(kid).kernel
                 self._alt_by_kernel[kernel_name] = (
                     self._alt_by_kernel.get(kernel_name, 0) + 1
                 )

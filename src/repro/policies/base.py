@@ -186,6 +186,16 @@ class SchedulingContext:
             return self._specs[kernel_id]
         return self.dfg.spec(kernel_id)
 
+    def spec(self, kernel_id: int):
+        """The kernel's :class:`~repro.graphs.dfg.KernelSpec`.
+
+        Policies should use this (not ``ctx.dfg.spec``): in the
+        open-system streaming path the context exposes only *arrived*
+        work, and this accessor is backed by the simulator's resident
+        tables rather than a full materialized graph.
+        """
+        return self._spec(kernel_id)
+
     def predecessors(self, kernel_id: int) -> list[int]:
         """Dependency predecessors of a kernel (precomputed when possible)."""
         if self._preds is not None:

@@ -170,3 +170,60 @@ class TestParser:
     def test_unknown_policy_exits(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--policy", "bogus"])
+
+
+class TestLoadSweep:
+    def test_load_sweep_writes_curves(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "load-sweep",
+            "--policies", "apt,met",
+            "--rates-per-s", "0.5,2",
+            "--apps", "6",
+            "--results-dir", str(tmp_path),
+        )
+        assert "Load sweep" in out
+        assert "Throughput (apps/s)" in out
+        text = (tmp_path / "load_sweep_poisson.txt").read_text()
+        # one row per (policy, rate)
+        assert text.count("APT") == 2 and text.count("MET") == 2
+
+    def test_load_sweep_profiles(self, capsys, tmp_path):
+        run_cli(
+            capsys,
+            "load-sweep",
+            "--policies", "met",
+            "--rates-per-s", "1",
+            "--apps", "4",
+            "--profile", "burst",
+            "--results-dir", str(tmp_path),
+        )
+        assert (tmp_path / "load_sweep_burst.txt").exists()
+
+    def test_load_sweep_engine_flags(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        run_cli(
+            capsys,
+            "load-sweep",
+            "--policies", "met",
+            "--rates-per-s", "1",
+            "--apps", "4",
+            "--cache-dir", str(cache),
+            "--results-dir", str(tmp_path),
+        )
+        assert any(cache.glob("*.json"))
+
+    def test_bad_rates_rejected(self, capsys, tmp_path):
+        assert main(
+            [
+                "load-sweep",
+                "--rates-per-s", "fast",
+                "--results-dir", str(tmp_path),
+            ]
+        ) == 2
+
+    def test_static_policy_rejected(self, capsys, tmp_path):
+        from repro.experiments.load_sweep import load_sweep
+
+        with pytest.raises(ValueError, match="dynamic policies only"):
+            load_sweep(policies=("heft",), rates_per_s=(1.0,), n_applications=4)

@@ -83,3 +83,47 @@ class TestEventQueue:
         q.push(ev(7.0, "mid"))
         assert q.pop().payload == "early"
         assert q.pop().payload == "mid"
+
+
+class TestArrivalRankOrdering:
+    """Arrival-class events (KERNEL_READY / APP_ARRIVAL) sort before
+    progress-class events at the same timestamp regardless of insertion
+    order — the invariant that keeps the streaming path's look-ahead
+    arrival event in the same batch position as the merged path's
+    up-front KERNEL_READY events."""
+
+    def test_arrival_pops_before_completion_at_same_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.KERNEL_COMPLETE, payload="done"))
+        q.push(Event(5.0, EventKind.APP_ARRIVAL, payload="app"))
+        q.push(Event(5.0, EventKind.KERNEL_READY, payload="ready"))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.APP_ARRIVAL,
+            EventKind.KERNEL_READY,
+            EventKind.KERNEL_COMPLETE,
+        ]
+
+    def test_fifo_within_a_rank(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.KERNEL_READY, payload=1))
+        q.push(Event(1.0, EventKind.KERNEL_READY, payload=2))
+        q.push(Event(1.0, EventKind.TRANSFER_COMPLETE, payload=3))
+        q.push(Event(1.0, EventKind.KERNEL_COMPLETE, payload=4))
+        assert [q.pop().payload for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_time_still_dominates(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.KERNEL_COMPLETE))
+        q.push(Event(2.0, EventKind.APP_ARRIVAL))
+        assert q.pop().kind is EventKind.KERNEL_COMPLETE
+
+    def test_pop_simultaneous_spans_ranks(self):
+        q = EventQueue()
+        q.push(Event(3.0, EventKind.KERNEL_COMPLETE))
+        q.push(Event(3.0, EventKind.APP_ARRIVAL))
+        batch = q.pop_simultaneous()
+        assert [e.kind for e in batch] == [
+            EventKind.APP_ARRIVAL,
+            EventKind.KERNEL_COMPLETE,
+        ]

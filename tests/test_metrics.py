@@ -90,3 +90,176 @@ class TestComputeMetrics:
         m = compute_metrics(Schedule(), system)
         assert m.makespan == 0.0
         assert m.mean_utilization() == 0.0
+
+
+# ----------------------------------------------------------------------
+# service-level (open-system) accounting
+# ----------------------------------------------------------------------
+from repro.core.metrics import (  # noqa: E402
+    AppServiceRecord,
+    AppSpan,
+    MetricsAccumulator,
+    ServiceAccumulator,
+    ServiceMetrics,
+    compute_service_metrics,
+)
+
+
+def app_record(
+    i=0, arrival=0.0, first=10.0, finish=30.0, n=2, compute=15.0, isolated=20.0
+) -> AppServiceRecord:
+    return AppServiceRecord(
+        app_index=i,
+        arrival_ms=arrival,
+        n_kernels=n,
+        first_start_ms=first,
+        finish_ms=finish,
+        compute_ms=compute,
+        isolated_ms=isolated,
+    )
+
+
+class TestAppSpan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppSpan(0.0, 5, 5)
+        with pytest.raises(ValueError):
+            AppSpan(-1.0, 0, 2)
+        assert AppSpan(1.0, 3, 7).n_kernels == 4
+
+
+class TestAppServiceRecord:
+    def test_derived_quantities(self):
+        rec = app_record(arrival=5.0, first=12.0, finish=45.0, isolated=20.0)
+        assert rec.response_ms == pytest.approx(40.0)
+        assert rec.queueing_ms == pytest.approx(7.0)
+        assert rec.slowdown == pytest.approx(2.0)
+
+    def test_zero_isolated_bound_degrades_to_unit_slowdown(self):
+        assert app_record(isolated=0.0).slowdown == 1.0
+
+
+class TestServiceMetrics:
+    def test_aggregates(self):
+        records = [
+            app_record(i=0, arrival=0.0, first=0.0, finish=10.0, isolated=10.0),
+            app_record(i=1, arrival=0.0, first=5.0, finish=30.0, isolated=10.0),
+        ]
+        sm = ServiceMetrics.from_records(records)
+        assert sm.n_applications == 2
+        assert sm.horizon_ms == 30.0
+        assert sm.mean_response_ms == pytest.approx(20.0)
+        assert sm.max_response_ms == pytest.approx(30.0)
+        assert sm.p95_response_ms == pytest.approx(30.0)
+        assert sm.mean_slowdown == pytest.approx(2.0)
+        assert sm.throughput_apps_per_s == pytest.approx(2 / 0.03)
+
+    def test_empty(self):
+        sm = ServiceMetrics.from_records([])
+        assert sm.mean_response_ms == 0.0
+        assert sm.throughput_apps_per_s == 0.0
+        assert sm.rolling(10.0) == ()
+
+    def test_rolling_window_counts(self):
+        records = [
+            app_record(i=0, arrival=1.0, first=1.0, finish=9.0),
+            app_record(i=1, arrival=2.0, first=3.0, finish=19.0),
+            app_record(i=2, arrival=25.0, first=25.0, finish=29.0),
+        ]
+        windows = ServiceMetrics.from_records(records).rolling(10.0)
+        assert len(windows) == 3
+        assert [w.arrived for w in windows] == [2, 0, 1]
+        assert [w.completed for w in windows] == [1, 1, 1]
+        assert windows[0].throughput_per_s == pytest.approx(100.0)
+
+    def test_rolling_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics.from_records([app_record()]).rolling(0.0)
+
+
+class TestServiceAccumulator:
+    def test_duplicate_registration_rejected(self):
+        acc = ServiceAccumulator()
+        acc.register_app(0, 0.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            acc.register_app(0, 0.0, 1, 1.0)
+
+    def test_batch_equals_incremental(self):
+        entries = [
+            entry(kid=0, transfer=0.0, start=1.0, finish=5.0),
+            entry(kid=1, transfer=5.0, start=5.0, finish=9.0, proc="gpu0"),
+            entry(kid=2, transfer=9.0, start=9.0, finish=12.0),
+        ]
+        spans = [AppSpan(0.0, 0, 2), AppSpan(0.0, 2, 3)]
+        batch = compute_service_metrics(entries, spans)
+        acc = ServiceAccumulator()
+        acc.register_app(0, 0.0, 2, 0.0)
+        acc.register_app(1, 0.0, 1, 0.0)
+        for e in entries[:2]:
+            acc.observe(0, e)
+        acc.observe(1, entries[2])
+        assert acc.finalize() == batch
+
+
+class TestMetricsAccumulator:
+    def test_matches_compute_metrics(self):
+        system = CPU_GPU_FPGA()
+        entries = [
+            entry(kid=0, transfer=0.0, start=2.0, finish=10.0),
+            entry(kid=1, proc="gpu0", transfer=1.0, start=1.0, finish=4.0),
+            entry(kid=2, transfer=10.0, start=10.0, finish=12.0),
+        ]
+        schedule = Schedule(entries)
+        acc = MetricsAccumulator(system)
+        for e in entries:
+            acc.observe(e)
+        assert acc.finalize() == compute_metrics(schedule, system)
+
+
+class TestRollingUtilization:
+    def test_fully_busy_single_processor_window(self):
+        from repro.core.metrics import rolling_utilization
+
+        system = CPU_GPU_FPGA()  # 3 processors
+        entries = [entry(kid=0, transfer=0.0, start=0.0, finish=10.0)]
+        rows = rolling_utilization(entries, system, window_ms=10.0)
+        assert len(rows) == 1
+        t_lo, t_hi, util = rows[0]
+        assert (t_lo, t_hi) == (0.0, 10.0)
+        # one of three processors busy the whole window
+        assert util == pytest.approx(1.0 / 3.0)
+
+    def test_interval_clipped_across_windows(self):
+        from repro.core.metrics import rolling_utilization
+
+        system = CPU_GPU_FPGA()
+        entries = [entry(kid=0, transfer=5.0, start=5.0, finish=15.0)]
+        rows = rolling_utilization(entries, system, window_ms=10.0)
+        assert len(rows) == 2
+        # [0,10): busy 5 of 10 ms on 1 of 3 processors
+        assert rows[0][2] == pytest.approx(0.5 / 3.0)
+        # [10,15): the final window is clipped to the horizon — busy 5 of
+        # 5 elapsed ms on 1 of 3 processors
+        assert rows[1][2] == pytest.approx(1.0 / 3.0)
+
+    def test_empty_schedule(self):
+        from repro.core.metrics import rolling_utilization
+
+        assert rolling_utilization([], CPU_GPU_FPGA(), 10.0) == []
+
+    def test_bad_window_rejected(self):
+        from repro.core.metrics import rolling_utilization
+
+        with pytest.raises(ValueError):
+            rolling_utilization([], CPU_GPU_FPGA(), 0.0)
+
+    def test_explicit_horizon_never_exceeds_one(self):
+        from repro.core.metrics import rolling_utilization
+
+        system = CPU_GPU_FPGA()
+        # kernel runs 60..120 ms, but the caller cuts off at 100 ms: the
+        # final window's busy time must clip to the horizon too
+        entries = [entry(kid=0, transfer=60.0, start=60.0, finish=120.0)]
+        rows = rolling_utilization(entries, system, window_ms=60.0, horizon_ms=100.0)
+        assert all(0.0 <= util <= 1.0 + 1e-9 for _, _, util in rows)
+        assert rows[1][2] == pytest.approx(1.0 / 3.0)

@@ -118,9 +118,15 @@ class TestExecution:
         from repro.experiments.sweep import make_job
 
         lookup = paper_lookup_table()
-        (dfg, arrivals) = spec.workload.build()[0]
-        job_on = make_job(dfg, PolicySpec.of("apt", alpha=2.0), system, lookup, arrivals=arrivals)
-        job_off = make_job(dfg, PolicySpec.of("apt", alpha=2.0), uncontended, lookup, arrivals=arrivals)
+        unit = spec.workload.build()[0]
+        job_on = make_job(
+            unit.dfg, PolicySpec.of("apt", alpha=2.0), system, lookup,
+            arrivals=unit.arrivals,
+        )
+        job_off = make_job(
+            unit.dfg, PolicySpec.of("apt", alpha=2.0), uncontended, lookup,
+            arrivals=unit.arrivals,
+        )
         assert job_on.content_hash() != job_off.content_hash()
 
     def test_scenario_jobs_carry_scenario_tag(self):
@@ -136,3 +142,55 @@ class TestExecution:
                 workload=WorkloadSpec.of("pipeline", n_kernels=8),
                 policies=(),
             )
+
+
+class TestOpenSystemScenarios:
+    def test_registered(self):
+        names = set(available_scenarios())
+        assert {
+            "open_system_poisson",
+            "open_system_burst",
+            "open_system_diurnal",
+        } <= names
+
+    def test_specs_round_trip(self):
+        for name in ("open_system_poisson", "open_system_burst", "open_system_diurnal"):
+            spec = get_scenario(name)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_jobs_carry_spans_and_source(self):
+        jobs = get_scenario("open_system_poisson").jobs()
+        assert all(job.app_spans for job in jobs)
+        assert all(job.source["kind"] == "open_system" for job in jobs)
+        # one stream per policy in the default grid
+        assert len(jobs) == len(get_scenario("open_system_poisson").policies)
+
+    def test_run_produces_service_columns(self):
+        spec = get_scenario("open_system_poisson")
+        # shrink the stream so the test stays fast, keeping the spec's
+        # profile and platform
+        small = ScenarioSpec(
+            name="open_small",
+            description=spec.description,
+            system=spec.system,
+            workload=WorkloadSpec.of(
+                "open_system",
+                n_applications=4,
+                seed=1,
+                profile="poisson",
+                mean_interarrival_ms=8000.0,
+            ),
+            policies=spec.policies[:2],
+        )
+        outcome = run_scenario(small, engine=SweepEngine())
+        table = outcome.table()
+        assert "Resp (ms)" in table.headers
+        assert "Apps/s" in table.headers
+        assert all(row[-1] > 0 for row in table.rows)
+
+    def test_burst_and_poisson_twins_differ(self):
+        # equal mean load, different arrival process → different keys and
+        # different simulated outcomes
+        p_jobs = get_scenario("open_system_poisson").jobs()
+        b_jobs = get_scenario("open_system_burst").jobs()
+        assert p_jobs[0].content_hash() != b_jobs[0].content_hash()

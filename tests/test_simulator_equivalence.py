@@ -251,3 +251,107 @@ class TestStreamingArrivals:
             policy_name,
             arrivals=arrivals,
         )
+
+
+class TestEventDrivenArrivalPath:
+    """``Simulator.run_stream`` (event-driven admission + retirement) must
+    reproduce the merged-DFG path bit for bit: every ScheduleEntry field
+    of every kernel, for every policy, on the paper suites, the streaming
+    extension, and the published Figure 5 anchors."""
+
+    def assert_stream_equivalent(self, sim_kwargs, stream, policy_name, name="stream"):
+        from repro.graphs.sources import EagerSource
+
+        system = sim_kwargs.pop("system")
+        lookup = sim_kwargs.pop("lookup")
+        sim = Simulator(system, lookup, **sim_kwargs)
+        merged, arrivals = stream.merged(name=name)
+        ref = sim.run(merged, get_policy(policy_name), arrivals=arrivals)
+        out = sim.run_stream(EagerSource(stream, name=name), get_policy(policy_name))
+        assert list(out.schedule) == list(ref.schedule), (
+            f"stream/merged divergence: {policy_name} on {name}"
+        )
+        assert out.metrics == ref.metrics
+        assert out.policy_stats == ref.policy_stats
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    @pytest.mark.parametrize("dfg_type", [1, 2])
+    def test_paper_suites_as_single_application_streams(
+        self, policy_name, dfg_type, system, lookup
+    ):
+        from repro.graphs.streams import ApplicationArrival, ApplicationStream
+
+        for dfg in paper_suite(dfg_type)[:4]:
+            stream = ApplicationStream([ApplicationArrival(dfg, 0.0)])
+            self.assert_stream_equivalent(
+                {"system": system, "lookup": lookup}, stream, policy_name, name=dfg.name
+            )
+
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_streaming_extension_equivalence(self, policy_name, lookup):
+        from repro.experiments.workloads import streaming_scale_stream
+
+        stream = streaming_scale_stream(
+            n_kernels=250, seed=11, mean_interarrival_ms=2000.0
+        )
+        self.assert_stream_equivalent(
+            {"system": scale_system(n_cpu=2, n_gpu=2, n_fpga=2), "lookup": lookup},
+            stream,
+            policy_name,
+        )
+
+    @pytest.mark.parametrize("policy_name", ["apt", "apt_rt", "met", "ag", "heft"])
+    def test_streaming_with_noise_equivalence(self, policy_name, lookup):
+        from repro.experiments.workloads import streaming_scale_stream
+
+        stream = streaming_scale_stream(
+            n_kernels=200, seed=3, mean_interarrival_ms=1500.0
+        )
+        self.assert_stream_equivalent(
+            {
+                "system": scale_system(n_cpu=2, n_gpu=2, n_fpga=2),
+                "lookup": lookup,
+                "exec_noise_sigma": 0.3,
+                "noise_seed": 42,
+            },
+            stream,
+            policy_name,
+        )
+
+    @pytest.mark.parametrize("policy_name", ["apt", "met", "ag"])
+    def test_contended_bus_stream_equivalence(self, policy_name, lookup):
+        from repro.experiments.workloads import streaming_scale_stream
+        from repro.graphs.sources import EagerSource
+
+        flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+        procs = [Processor(p.name, p.ptype) for p in flat]
+        system = SystemConfig(
+            procs,
+            topology=bus_topology(
+                [p.name for p in procs], bus_gbps=4.0, contention=True
+            ),
+        )
+        stream = streaming_scale_stream(
+            n_kernels=150, seed=5, mean_interarrival_ms=2000.0
+        )
+        sim = Simulator(system, lookup)
+        merged, arrivals = stream.merged(name="stream")
+        ref = sim.run(merged, get_policy(policy_name), arrivals=arrivals)
+        out = sim.run_stream(EagerSource(stream, name="stream"), get_policy(policy_name))
+        assert list(out.schedule) == list(ref.schedule)
+        assert out.metrics == ref.metrics
+
+    def test_figure5_end_times_through_run_stream(self):
+        # The one fully-published experiment must land on the paper's
+        # exact end times through the event-driven arrival pipeline too.
+        from repro.graphs.streams import ApplicationArrival, ApplicationStream
+
+        sim = Simulator(
+            CPU_GPU_FPGA(), figure5_lookup_table(), transfers_enabled=False
+        )
+        dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+        stream = ApplicationStream([ApplicationArrival(dfg, 0.0)])
+        met = sim.run_stream(stream, MET())
+        apt = sim.run_stream(stream, APT(alpha=8.0))
+        assert met.makespan == pytest.approx(318.093, abs=1e-3)
+        assert apt.makespan == pytest.approx(212.093, abs=1e-3)

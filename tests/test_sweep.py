@@ -329,3 +329,75 @@ class TestRunnerIntegration:
         b = plain.run_one(0, suite[0], "heft", 4.0)
         assert plain.engine.stats.simulated == 0
         assert a.makespan == pytest.approx(b.makespan + 10.0 * len(suite[0]))
+
+
+class TestOpenSystemPayload:
+    """v4 payload: app spans and the declarative source descriptor."""
+
+    def test_app_spans_change_the_hash(self, lookup, system):
+        from repro.core.metrics import AppSpan
+
+        plain = job_of(lookup, system)
+        spanned = job_of(
+            lookup, system, app_spans=(AppSpan(0.0, 0, 2), AppSpan(0.0, 2, 4))
+        )
+        assert plain.content_hash() != spanned.content_hash()
+
+    def test_source_descriptor_changes_the_hash(self, lookup, system):
+        plain = job_of(lookup, system)
+        sourced = job_of(
+            lookup, system, source={"kind": "open_system", "seed": 1}
+        )
+        assert plain.content_hash() != sourced.content_hash()
+
+    def test_service_fields_populated_when_spans_present(self, lookup, system):
+        from repro.core.metrics import AppSpan
+        from repro.experiments.sweep import JobResult
+
+        job = job_of(lookup, system, app_spans=(AppSpan(0.0, 0, 4),))
+        record = execute_payload(job.runnable_payload())
+        result = JobResult.from_dict(record)
+        assert result.n_applications == 1
+        assert result.mean_response_ms > 0.0
+        assert result.throughput_apps_per_s > 0.0
+        assert result.mean_slowdown >= 1.0 - 1e-9
+        # round trip preserves the service block
+        assert JobResult.from_dict(result.to_dict()) == result
+
+    def test_service_fields_zero_without_spans(self, lookup, system):
+        from repro.experiments.sweep import JobResult
+
+        record = execute_payload(job_of(lookup, system).runnable_payload())
+        result = JobResult.from_dict(record)
+        assert result.n_applications == 0
+        assert result.mean_response_ms == 0.0
+
+    def test_open_system_workload_unit_round_trips_through_engine(self, tmp_path):
+        from repro.data.paper_tables import paper_lookup_table
+        from repro.experiments.workloads import build_workload
+
+        unit = build_workload(
+            "open_system",
+            n_applications=4,
+            seed=1,
+            profile="poisson",
+            mean_interarrival_ms=5000.0,
+        )[0]
+        assert unit.app_spans is not None and len(unit.app_spans) == 4
+        assert unit.source["kind"] == "open_system"
+        job = make_job(
+            unit.dfg,
+            PolicySpec.of("met"),
+            CPU_GPU_FPGA(),
+            paper_lookup_table(),
+            arrivals=unit.arrivals,
+            app_spans=unit.app_spans,
+            source=unit.source,
+        )
+        engine = SweepEngine(cache_dir=tmp_path)
+        first = engine.run_jobs([job])[0]
+        assert first.n_applications == 4
+        warm = SweepEngine(cache_dir=tmp_path)
+        again = warm.run_jobs([job])[0]
+        assert warm.stats.simulated == 0
+        assert again == first

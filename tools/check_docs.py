@@ -17,10 +17,14 @@ Conventions
 * Blocks run with the repository's ``src/`` on ``sys.path`` and the
   working directory set to a throwaway temp dir, so examples that write
   files (cache dirs, results) cannot dirty the checkout.
+* The scripts listed in :data:`EXAMPLE_SCRIPTS` are additionally
+  smoke-executed (with ``REPRO_EXAMPLE_FAST=1``), so the runnable
+  examples they demonstrate cannot rot either.
 
 Usage::
 
     python tools/check_docs.py [FILE ...]     # default: README.md docs/*.md
+                                              #          + EXAMPLE_SCRIPTS
 """
 
 from __future__ import annotations
@@ -33,6 +37,10 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 FENCE = re.compile(r"^```(?P<info>[^\n`]*)\n(?P<body>.*?)^```\s*$", re.M | re.S)
+
+#: Example scripts covered by the docs check (repo-relative).  Each must
+#: honour REPRO_EXAMPLE_FAST=1 with a seconds-scale configuration.
+EXAMPLE_SCRIPTS = ["examples/open_system_saturation.py"]
 
 
 def python_blocks(text: str) -> list[tuple[int, str]]:
@@ -62,11 +70,30 @@ def check_file(path: Path) -> list[str]:
     return failures
 
 
+def check_example(path: Path) -> list[str]:
+    """Smoke-execute one example script (stdout suppressed)."""
+    import contextlib
+    import io
+    import os
+
+    label = str(path.relative_to(ROOT))
+    os.environ["REPRO_EXAMPLE_FAST"] = "1"
+    try:
+        code = compile(path.read_text(encoding="utf-8"), label, "exec")
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(code, {"__name__": "__main__", "__file__": str(path)})  # noqa: S102
+    except Exception:
+        return [f"{label}\n{traceback.format_exc()}"]
+    return []
+
+
 def main(argv: list[str]) -> int:
     if argv:
         files = [Path(a).resolve() for a in argv]
+        examples: list[Path] = []
     else:
         files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+        examples = [ROOT / rel for rel in EXAMPLE_SCRIPTS]
     sys.path.insert(0, str(ROOT / "src"))
     failures: list[str] = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -78,6 +105,13 @@ def main(argv: list[str]) -> int:
             for path in files:
                 print(f"{path.relative_to(ROOT)}:")
                 failures += check_file(path)
+            if examples:
+                print("examples:")
+                for path in examples:
+                    result = check_example(path)
+                    failures += result
+                    print(f"  {'FAIL' if result else 'ok  '} "
+                          f"{path.relative_to(ROOT)}")
         finally:
             os.chdir(cwd)
     if failures:
