@@ -13,7 +13,9 @@ Subcommands
 * ``scenario``  — the declarative scenario registry: ``list`` the
   catalog, ``show`` one spec (``--json`` for the serialized form), or
   ``run`` scenarios through the cached sweep engine, recording rendered
-  result tables under ``results/``;
+  result tables under ``results/``; ``run --dynamics`` overrides the
+  runtime-dynamics stack (fault injection / preemption), e.g.
+  ``--dynamics 'fault:mttf_ms=60000,mttr_ms=4000,seed=7'``;
 * ``load-sweep`` — open-system throughput–latency curves: sweep the
   arrival rate λ from light load to saturation for each policy,
   recording the curves under ``results/load_sweep_*.txt``;
@@ -155,6 +157,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results-dir",
         default="results",
         help="run: directory for rendered scenario tables",
+    )
+    scen.add_argument(
+        "--dynamics",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run: override the scenarios' runtime-dynamics stack, e.g. "
+            "'fault:mttf_ms=60000,mttr_ms=4000,seed=7;preempt:penalty_ms=2' "
+            "('none' clears it)"
+        ),
     )
 
     load = sub.add_parser(
@@ -307,9 +319,11 @@ def _cmd_extension(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    import dataclasses
     import json as _json
     from pathlib import Path
 
+    from repro.core.dynamics import parse_dynamics_arg
     from repro.experiments.scenarios import (
         available_scenarios,
         get_scenario,
@@ -336,17 +350,33 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     # run
     names = list(args.names) or list(available_scenarios())
+    dynamics_override = None
+    if args.dynamics is not None:
+        try:
+            dynamics_override = (
+                () if args.dynamics.strip().lower() == "none"
+                else parse_dynamics_arg(args.dynamics)
+            )
+        except ValueError as exc:
+            print(f"bad --dynamics spec: {exc}", file=sys.stderr)
+            return 2
     engine = SweepEngine(
         workers=args.workers, cache_dir=args.cache_dir, use_cache=not args.no_cache
     )
     out_dir = Path(args.results_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        outcome = run_scenario(name, engine=engine)
+        spec = get_scenario(name)
+        if dynamics_override is not None:
+            spec = dataclasses.replace(spec, dynamics=dynamics_override)
+        outcome = run_scenario(spec, engine=engine)
         text = render_table(outcome.table())
         print(text)
         print()
-        path = out_dir / f"scenario_{name}.txt"
+        # an overridden dynamics stack is not the canonical scenario:
+        # record it beside, never over, the committed artifact
+        suffix = "_override" if dynamics_override is not None else ""
+        path = out_dir / f"scenario_{name}{suffix}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"  -> {path}")
     return 0

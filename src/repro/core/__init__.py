@@ -9,7 +9,11 @@ subpackage rebuilds that simulator:
 * :mod:`repro.core.lookup` — the kernel-execution-time lookup table;
 * :mod:`repro.core.cost` — the unified assignment cost model;
 * :mod:`repro.core.events` — the event queue driving the simulation;
-* :mod:`repro.core.simulator` — the simulation engine itself;
+* :mod:`repro.core.engine` — the layered event-engine core and the
+  :class:`~repro.core.engine.RuntimeDynamics` hook protocol;
+* :mod:`repro.core.dynamics` — the pluggable behavior layers (admission,
+  contention, retirement, metrics, fault injection, preemption);
+* :mod:`repro.core.simulator` — the simulator facade assembling them;
 * :mod:`repro.core.reference` — the pre-refactor loop, kept as an oracle;
 * :mod:`repro.core.schedule` — the schedule record a run produces;
 * :mod:`repro.core.metrics` — makespan, utilization and λ-delay metrics;
@@ -30,6 +34,14 @@ from repro.core.topology import (
 from repro.core.lookup import LookupTable, LookupEntry
 from repro.core.cost import CostModel
 from repro.core.events import Event, EventKind, EventQueue
+from repro.core.engine import EngineCore, RuntimeDynamics, SchedulingError
+from repro.core.dynamics import (
+    DynamicsSpec,
+    FaultDynamics,
+    PreemptionDynamics,
+    build_dynamics,
+    parse_dynamics_arg,
+)
 from repro.core.simulator import (
     Simulator,
     SimulationResult,
@@ -76,6 +88,14 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "EngineCore",
+    "RuntimeDynamics",
+    "SchedulingError",
+    "DynamicsSpec",
+    "FaultDynamics",
+    "PreemptionDynamics",
+    "build_dynamics",
+    "parse_dynamics_arg",
     "Simulator",
     "SimulationResult",
     "StreamResult",

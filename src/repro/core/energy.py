@@ -23,10 +23,13 @@ Energies are reported in joules (W × ms / 1000).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.schedule import Schedule
 from repro.core.system import ProcessorType, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import SimulationMetrics
 
 
 @dataclass(frozen=True)
@@ -141,3 +144,32 @@ def energy_of(
             idle_joules=idle_ms / 1e3 * power_model.idle(proc.ptype),
         )
     return EnergyReport(per_processor=out, makespan_ms=makespan)
+
+
+def energy_from_metrics(
+    metrics: "SimulationMetrics",
+    system: SystemConfig,
+    power_model: PowerModel = DEFAULT_POWER_MODEL,
+) -> EnergyReport:
+    """Integrate the power model over already-reduced usage metrics.
+
+    The open-system path's energy backend: a ``retain_schedule=False``
+    run has no schedule to hand :func:`energy_of`, but its
+    :class:`~repro.core.metrics.SimulationMetrics` carry exactly the
+    per-processor compute/transfer/idle sums the integration needs — in
+    the same reduction order as the batch path, so the report is
+    bit-equal to :func:`energy_of` on the retained schedule (asserted in
+    ``tests/test_energy.py``).
+    """
+    out: dict[str, ProcessorEnergy] = {}
+    for proc in system:
+        usage = metrics.usage[proc.name]
+        out[proc.name] = ProcessorEnergy(
+            processor=proc.name,
+            compute_joules=usage.compute_time / 1e3 * power_model.busy(proc.ptype),
+            transfer_joules=usage.transfer_time
+            / 1e3
+            * power_model.transfer(proc.ptype),
+            idle_joules=usage.idle_time / 1e3 * power_model.idle(proc.ptype),
+        )
+    return EnergyReport(per_processor=out, makespan_ms=metrics.makespan)

@@ -30,6 +30,13 @@ class EventKind(Enum):
     ``APP_ARRIVAL`` drives the open-system streaming path: one event per
     application joining the stream, at which instant the simulator admits
     the application's kernels (see ``Simulator.run_stream``).
+
+    ``FAULT`` / ``REPAIR`` drive the fault-injection layer
+    (:class:`~repro.core.dynamics.FaultDynamics`): a processor leaves
+    service (its in-flight kernel is aborted and re-enqueued) and
+    returns.  ``PREEMPT`` marks the end of a preemption context-switch
+    penalty (:class:`~repro.core.dynamics.PreemptionDynamics`) — the
+    preempted processor may dispatch again.
     """
 
     KERNEL_READY = "kernel_ready"
@@ -37,6 +44,9 @@ class EventKind(Enum):
     TRANSFER_START = "transfer_start"
     TRANSFER_COMPLETE = "transfer_complete"
     KERNEL_COMPLETE = "kernel_complete"
+    FAULT = "fault"
+    REPAIR = "repair"
+    PREEMPT = "preempt"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -44,12 +54,13 @@ class EventKind(Enum):
 
 #: Same-timestamp ordering tier.  Arrival-class events (kernels or
 #: applications entering the system) sort before progress-class events
-#: (transfers, completions) at an identical time, so a streaming run —
-#: whose single look-ahead ``APP_ARRIVAL`` event may be pushed *after*
-#: long-scheduled completion events — processes arrivals in exactly the
-#: position the merged-DFG path does (that path pushes every
-#: ``KERNEL_READY`` up front, i.e. with the lowest sequence numbers).
-#: Within a tier, FIFO insertion order still breaks ties.
+#: (transfers, completions, faults/repairs, preemption expiries) at an
+#: identical time, so a streaming run — whose single look-ahead
+#: ``APP_ARRIVAL`` event may be pushed *after* long-scheduled completion
+#: events — processes arrivals in exactly the position the merged-DFG
+#: path does (that path pushes every ``KERNEL_READY`` up front, i.e.
+#: with the lowest sequence numbers).  Within a tier, FIFO insertion
+#: order still breaks ties.
 _ARRIVAL_RANK = {EventKind.KERNEL_READY: 0, EventKind.APP_ARRIVAL: 0}
 
 

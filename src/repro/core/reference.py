@@ -57,6 +57,11 @@ class ReferenceSimulator(Simulator):
                 "Simulator (or set contention=False for route-shaped but "
                 "uncontended costs)"
             )
+        if self.dynamics:
+            raise NotImplementedError(
+                "ReferenceSimulator predates the runtime-dynamics layering; "
+                "run fault/preemption dynamics on Simulator"
+            )
         cost = self.cost
         procs: dict[str, _ProcState] = {p.name: _ProcState() for p in self.system}
         arrival_of = {k: arrivals.get(k, 0.0) for k in dfg.kernel_ids()}

@@ -1,4 +1,4 @@
-"""The heterogeneous-system simulator.
+"""The heterogeneous-system simulator — a facade over the layered engine.
 
 This is the engine the paper describes in §3.2: processors execute
 kernels whose durations come from the lookup table; data moves over
@@ -8,6 +8,35 @@ of §3.2 (makespan, per-processor compute/transfer/idle time, λ delays).
 
 Execution model
 ---------------
+Since the engine/dynamics split, the simulation is layered (full tour in
+``docs/architecture.md``):
+
+* :class:`~repro.core.engine.EngineCore` owns the mechanics every run
+  shares — event queue, clock, per-processor dispatch state, the ready
+  set, the policy fixpoint, kernel completion;
+* an ordered chain of :class:`~repro.core.engine.RuntimeDynamics`
+  layers contributes everything else through a narrow hook protocol:
+  admission (:class:`~repro.core.dynamics.BatchAdmission` for one
+  pre-merged DFG, :class:`~repro.core.dynamics.StreamAdmission` for
+  open-system arrival sources), contended transfers
+  (:class:`~repro.core.dynamics.ContentionDynamics`), bounded-memory
+  state eviction (:class:`~repro.core.dynamics.RetirementDynamics`),
+  metric/service accounting
+  (:class:`~repro.core.dynamics.MetricsDynamics`), and the optional
+  runtime perturbations — fault injection
+  (:class:`~repro.core.dynamics.FaultDynamics`) and preemption
+  (:class:`~repro.core.dynamics.PreemptionDynamics`) — passed through
+  the ``dynamics=`` parameter.
+
+:class:`Simulator` assembles that stack per run.  With no extra
+dynamics, the layered engine performs the *same sequence* of event
+pushes, policy invocations and state mutations as the pre-split
+monolith: bit-for-bit identical schedules, asserted against
+``repro.core.reference.ReferenceSimulator`` (the pre-refactor loop kept
+as an oracle) in ``tests/test_simulator_equivalence.py``.
+
+Scheduling semantics (unchanged by the split):
+
 * Every processor owns a FIFO dispatch queue.  Policies that only assign
   to idle processors (APT, MET, SPN, SS, and the static plans) keep queues
   at length ≤ 1; Adaptive Greedy queues kernels onto busy processors.
@@ -29,18 +58,13 @@ simulator's configuration and threaded through static planning
 every layer prices an assignment identically.
 
 The inner loop is *incremental*, built for million-kernel streams and
-many-processor systems:
-
-* :class:`~repro.policies.base.ProcessorView` objects are rebuilt only
-  for processors whose state actually changed, instead of all views on
-  every policy invocation;
-* the ready queue is an order-preserving set with O(1) membership and
-  removal;
-* per-kernel lookup queries (``best_processor_type``, ``exec_time``) are
-  memoized in the cost model across policy invocations;
-* a policy whose last answer was empty is not re-invoked until something
-  it can observe has changed (see :attr:`~repro.policies.base.Policy.
-  time_sensitive`).
+many-processor systems: processor views are rebuilt only on change, the
+ready queue is an order-preserving set with O(1) membership and removal,
+per-kernel lookup queries are memoized in the cost model, and a policy
+whose last answer was empty is not re-invoked until something it can
+observe has changed (:attr:`~repro.policies.base.Policy.time_sensitive`).
+Unused layer hooks are never dispatched, so the layering adds no
+per-event tax (gated in ``benchmarks/test_bench_simulator_scale.py``).
 
 Contended transfers
 -------------------
@@ -61,10 +85,6 @@ that is the bit-for-bit equivalence guarantee the paper-number tests
 rest on.  While a transfer is in flight its processor's ``free_at`` is
 the *uncontended* estimate, corrected when the flow set resolves.
 
-``repro.core.reference.ReferenceSimulator`` keeps the straightforward
-rebuild-everything loop; ``tests/test_simulator_equivalence.py`` asserts
-the two produce bit-for-bit identical schedules.
-
 Open-system streams
 -------------------
 :meth:`Simulator.run` consumes one pre-merged DFG — the *closed* form,
@@ -75,137 +95,86 @@ application's kernels are admitted when its ``APP_ARRIVAL`` event fires
 merged` would) and retired once completed with every successor started,
 so peak resident state tracks the stream's concurrency, not its length.
 Results carry per-application service metrics (response time, slowdown,
-throughput — :class:`~repro.core.metrics.ServiceMetrics`) beside the
-paper's schedule metrics, and the produced schedules are bit-for-bit
-identical to running the merged DFG through :meth:`Simulator.run`.
+throughput — :class:`~repro.core.metrics.ServiceMetrics`) and an
+:class:`~repro.core.energy.EnergyReport` beside the paper's schedule
+metrics, and the produced schedules are bit-for-bit identical to running
+the merged DFG through :meth:`Simulator.run`.
 
-Determinism: given the same DFG, system, lookup table and policy
-configuration, a run is bit-for-bit reproducible.
+Runtime dynamics (faults, preemption)
+-------------------------------------
+``dynamics=`` accepts :class:`~repro.core.dynamics.DynamicsSpec` items
+(rebuilt fresh each run — the serializable form scenarios and sweep jobs
+carry) or :class:`~repro.core.engine.RuntimeDynamics` instances (custom
+layers; all per-run state must be initialized in ``on_run_start``).
+Fault injection aborts and re-enqueues in-flight kernels on failed
+processors; preemption lets the driving policy evict a running kernel at
+an event boundary under a context-switch penalty.  Results then carry
+``dynamics_stats`` (availability, fault/preemption counts).  Runs whose
+dynamics can abort kernels record schedule entries at *completion*
+rather than start, so abandoned attempts never pollute the log; aborted
+work re-runs from scratch (restart semantics).
+
+Determinism: given the same DFG, system, lookup table, policy and
+dynamics configuration, a run is bit-for-bit reproducible — fault traces
+are seeded per processor and independent of policy decisions.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterator
+from typing import Mapping, Sequence
 
 from repro.core.cost import VALID_TRANSFER_MODES, CostModel
-from repro.core.events import Event, EventKind, EventQueue
+from repro.core.dynamics import (
+    BatchAdmission,
+    ContentionDynamics,
+    DynamicsSpec,
+    MetricsDynamics,
+    RetirementDynamics,
+    StreamAdmission,
+    build_dynamics,
+)
+from repro.core.energy import (
+    DEFAULT_POWER_MODEL,
+    EnergyReport,
+    PowerModel,
+    energy_from_metrics,
+)
+from repro.core.engine import (
+    EngineCore,
+    RuntimeDynamics,
+    SchedulingError,
+)
+
+# Backward-compatible re-exports: these engine internals lived here
+# before the engine/dynamics split (ReferenceSimulator imports them).
+from repro.core.engine import _ProcState, _ReadyQueue, _ResidentGraph  # noqa: F401
 from repro.core.lookup import LookupTable
 from repro.core.metrics import (
-    MetricsAccumulator,
-    ServiceAccumulator,
     ServiceMetrics,
     SimulationMetrics,
     compute_metrics,
     compute_service_metrics,
-    isolated_lower_bound_ms,
     stream_app_spans,
 )
-from repro.core.schedule import Schedule, ScheduleEntry
+from repro.core.schedule import Schedule
 from repro.core.system import SystemConfig
-from repro.core.topology import ContentionManager
 from repro.core.trace import StateTrace
 from repro.graphs.dfg import DFG
-from repro.policies.base import (
-    Assignment,
-    DynamicPolicy,
-    Policy,
-    ProcessorView,
-    SchedulingContext,
-    StaticPlan,
-    StaticPolicy,
-)
+from repro.policies.base import DynamicPolicy, Policy, StaticPolicy
+from repro.policies.plan import PlanDispatcher
 
 _VALID_TRANSFER_MODES = VALID_TRANSFER_MODES  # re-export (back-compat)
+#: Historical private name; the dispatcher now lives in repro.policies.plan.
+_PlanDispatcher = PlanDispatcher
 
-
-class SchedulingError(RuntimeError):
-    """Raised when a policy produces an infeasible decision or deadlocks."""
-
-
-@dataclass
-class _ProcState:
-    """Mutable runtime state of one processor."""
-
-    free_at: float = 0.0
-    running: int | None = None
-    queue: Deque[tuple[int, bool]] = field(default_factory=deque)  # (kid, alternative)
-
-    def busy(self, now: float) -> bool:
-        return self.running is not None and self.free_at > now + 1e-12
-
-
-class _ReadyQueue:
-    """Order-preserving ready set: O(1) membership, add and removal.
-
-    Iteration order is insertion order — the FCFS discipline the list
-    implementation provided, without its O(n) ``remove``.
-    """
-
-    __slots__ = ("_d", "_tuple")
-
-    def __init__(self, items: "list[int] | tuple[int, ...]" = ()) -> None:
-        self._d: dict[int, None] = dict.fromkeys(items)
-        self._tuple: tuple[int, ...] | None = None
-
-    def add(self, kid: int) -> None:
-        self._d[kid] = None
-        self._tuple = None
-
-    def remove(self, kid: int) -> None:
-        del self._d[kid]
-        self._tuple = None
-
-    def __contains__(self, kid: int) -> bool:
-        return kid in self._d
-
-    def __len__(self) -> int:
-        return len(self._d)
-
-    def __iter__(self) -> Iterator[int]:
-        return iter(self._d)
-
-    def as_tuple(self) -> tuple[int, ...]:
-        if self._tuple is None:
-            self._tuple = tuple(self._d)
-        return self._tuple
-
-
-class _ResidentGraph:
-    """Read-only DFG facade over the streaming path's *resident* state.
-
-    The open-system loop never materializes the merged graph; policies
-    reaching through ``ctx.dfg`` (or the context helpers) see exactly the
-    kernels currently admitted and not yet retired — arrived work only,
-    by construction.
-    """
-
-    __slots__ = ("name", "_specs", "_preds", "_succs")
-
-    def __init__(self, name, specs, preds, succs) -> None:
-        self.name = name
-        self._specs = specs
-        self._preds = preds
-        self._succs = succs
-
-    def spec(self, kid: int):
-        return self._specs[kid]
-
-    def predecessors(self, kid: int) -> list[int]:
-        return self._preds[kid]
-
-    def successors(self, kid: int) -> list[int]:
-        return self._succs[kid]
-
-    def kernel_ids(self) -> list[int]:
-        return sorted(self._specs)
-
-    def __len__(self) -> int:
-        return len(self._specs)
-
-    def __contains__(self, kid: int) -> bool:
-        return kid in self._specs
+__all__ = [
+    "SchedulingError",
+    "SimulationResult",
+    "Simulator",
+    "StreamResult",
+    "StreamStats",
+]
 
 
 @dataclass(frozen=True)
@@ -231,7 +200,9 @@ class StreamResult:
 
     ``schedule`` is ``None`` when the run was asked not to retain the
     per-kernel log (``retain_schedule=False`` — the bounded-memory mode);
-    ``metrics`` and ``service`` are computed either way, identically.
+    ``metrics``, ``service`` and ``energy`` are computed either way,
+    identically.  ``dynamics_stats`` carries per-layer statistics of any
+    extra runtime dynamics (fault availability, preemption counts).
     """
 
     schedule: Schedule | None
@@ -242,6 +213,8 @@ class StreamResult:
     policy_stats: dict[str, object]
     source_name: str
     trace: StateTrace | None = None
+    energy: EnergyReport | None = None
+    dynamics_stats: Mapping[str, dict[str, object]] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -258,6 +231,7 @@ class SimulationResult:
     policy_stats: dict[str, object]
     dfg_name: str
     trace: StateTrace | None = None
+    dynamics_stats: Mapping[str, dict[str, object]] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -306,6 +280,15 @@ class Simulator:
     noise_seed:
         Seed of the noise stream (re-seeded per run, so runs stay
         deterministic and comparable across policies).
+    dynamics:
+        Extra :class:`~repro.core.engine.RuntimeDynamics` layers (or
+        their declarative :class:`~repro.core.dynamics.DynamicsSpec`
+        forms) appended to the standard stack on every run — fault
+        injection, preemption, or custom layers.
+    power_model:
+        Power model for the energy report of ``run_stream`` results
+        (default: the paper-device :data:`~repro.core.energy.
+        DEFAULT_POWER_MODEL`).
     """
 
     def __init__(
@@ -318,6 +301,8 @@ class Simulator:
         collect_trace: bool = False,
         exec_noise_sigma: float = 0.0,
         noise_seed: int = 0,
+        dynamics: "Sequence[RuntimeDynamics | DynamicsSpec] | None" = None,
+        power_model: PowerModel | None = None,
     ) -> None:
         if exec_noise_sigma < 0:
             raise ValueError("exec_noise_sigma must be >= 0")
@@ -349,6 +334,54 @@ class Simulator:
         self.collect_trace = collect_trace
         self.exec_noise_sigma = float(exec_noise_sigma)
         self.noise_seed = int(noise_seed)
+        self.dynamics = tuple(dynamics or ())
+        self.power_model = power_model if power_model is not None else DEFAULT_POWER_MODEL
+
+    # ------------------------------------------------------------------
+    # engine assembly
+    # ------------------------------------------------------------------
+    def _contended(self) -> bool:
+        topo = self.system.topology
+        return topo is not None and topo.contended and self.transfers_enabled
+
+    def _build_engine(
+        self,
+        policy: Policy,
+        driver: DynamicPolicy,
+        admission: RuntimeDynamics,
+        metrics: MetricsDynamics,
+        retirement: RetirementDynamics | None = None,
+    ) -> EngineCore:
+        """Assemble the layer chain: admission → contention → extra
+        dynamics → retirement → metrics."""
+        engine = EngineCore(
+            self.system,
+            self.cost,
+            policy,
+            driver,
+            noise_sigma=self.exec_noise_sigma,
+            noise_seed=self.noise_seed,
+        )
+        engine.add_layer(admission)
+        if self._contended():
+            engine.add_layer(ContentionDynamics(self.system.topology))
+        for layer in build_dynamics(self.dynamics):
+            engine.add_layer(layer)
+        if retirement is not None:
+            engine.add_layer(retirement)
+        engine.add_layer(metrics)
+        return engine
+
+    def _has_aborting_dynamics(self) -> bool:
+        from repro.core.dynamics import DYNAMICS_KINDS
+
+        for item in self.dynamics:
+            if isinstance(item, DynamicsSpec):
+                if DYNAMICS_KINDS[item.kind].aborts:
+                    return True
+            elif getattr(item, "aborts", False):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     def run(
@@ -397,11 +430,40 @@ class Simulator:
             # transfers-disabled plans).
             plan = policy.plan(dfg, self.cost)
             plan.validate(dfg, self.system)
-            driver = _PlanDispatcher(plan)
+            driver = PlanDispatcher(plan)
         else:
             driver = policy
 
         return self._simulate(dfg, policy, driver, arrivals or {})
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        dfg: DFG,
+        policy: Policy,
+        driver: DynamicPolicy,
+        arrivals: dict[int, float],
+    ) -> SimulationResult:
+        metrics_layer = MetricsDynamics(self.system, retain_schedule=True)
+        engine = self._build_engine(
+            policy, driver, BatchAdmission(dfg, arrivals), metrics_layer
+        )
+        engine.noise.update(self._noise_factors(dfg))
+        engine.run_loop()
+
+        schedule = metrics_layer.schedule
+        schedule.validate(dfg)
+        return SimulationResult(
+            schedule=schedule,
+            metrics=metrics_layer.metrics(),
+            policy_name=policy.name,
+            policy_stats=policy.stats(),
+            dfg_name=dfg.name,
+            trace=StateTrace.from_schedule(schedule, self.system)
+            if self.collect_trace
+            else None,
+            dynamics_stats=engine.dynamics_stats(),
+        )
 
     # ------------------------------------------------------------------
     def run_stream(
@@ -432,8 +494,8 @@ class Simulator:
 
         ``retain_schedule=False`` drops each schedule entry after feeding
         the metric accumulators — the bounded-memory mode for very long
-        streams; ``metrics``/``service`` are computed identically, but
-        ``schedule`` (and any trace) is ``None``.
+        streams; ``metrics``/``service``/``energy`` are computed
+        identically, but ``schedule`` (and any trace) is ``None``.
         """
         from repro.graphs.sources import ArrivalSource, EagerSource
 
@@ -471,6 +533,10 @@ class Simulator:
                 policy_stats=result.policy_stats,
                 source_name=source.name,
                 trace=result.trace if retain_schedule else None,
+                energy=energy_from_metrics(
+                    result.metrics, self.system, self.power_model
+                ),
+                dynamics_stats=result.dynamics_stats,
             )
 
         policy.reset()
@@ -484,435 +550,41 @@ class Simulator:
         driver: DynamicPolicy,
         retain_schedule: bool,
     ) -> StreamResult:
-        """The event-driven open-system inner loop.
-
-        Mirrors :meth:`_simulate` exactly — same fixpoint, start, event
-        and contention handling — with three structural differences:
-        per-kernel tables are filled at ``APP_ARRIVAL`` admission instead
-        of up front, completed state is retired, and metrics may be
-        accumulated instead of recomputed from a retained schedule.
-        Divergence between the two loops is a bug; the equivalence suite
-        pins them together.
-        """
-        system = self.system
-        cost = self.cost
-        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in system}
-        proc_index = {p.name: i for i, p in enumerate(system)}
-        proc_names = tuple(procs)
-        specs: dict[int, object] = {}
-        preds_of: dict[int, list[int]] = {}
-        succs_of: dict[int, list[int]] = {}
-        arrival_of: dict[int, float] = {}
-        app_index_of: dict[int, int] = {}
-        remaining_preds: dict[int, int] = {}
-        # successors not yet started; retirement gate (with completion)
-        unstarted_succs: dict[int, int] = {}
-        ready = _ReadyQueue()
-        ready_time: dict[int, float] = {}
-        assign_time: dict[int, float] = {}
-        is_alternative: dict[int, bool] = {}
-        assignment_of: dict[int, str] = {}
-        completed: set[int] = set()
-        exec_history: dict[str, list[float]] = {p.name: [] for p in system}
-        events = EventQueue()
-        schedule: Schedule | None = Schedule() if retain_schedule else None
-        metrics_acc = None if retain_schedule else MetricsAccumulator(system)
-        service_acc = ServiceAccumulator()
-        now = 0.0
-        n_admitted = 0
-        n_completed = 0
-        n_retired = 0
-        n_apps = 0
-        n_alt = 0
-        peak_resident = 0
-        next_id = 0
-        noise: dict[int, float] = {}
-        noise_rng = None
-        if self.exec_noise_sigma > 0.0:
-            import numpy as _np
-
-            # One persistent stream consumed in admission (= merged id)
-            # order: the factor sequence matches _noise_factors exactly
-            # (same RNG, same _np.exp — bit-for-bit).
-            noise_rng = _np.random.default_rng(self.noise_seed)
-            noise_exp = _np.exp
-
-        topo = system.topology
-        contended = (
-            topo is not None and topo.contended and self.transfers_enabled
+        admission = StreamAdmission(source)
+        # Abort-capable dynamics may re-enqueue a started kernel, which
+        # must still find its predecessors' placements: retirement then
+        # waits for successors to *complete* (final) instead of start.
+        retirement = RetirementDynamics(
+            gate="completed" if self._has_aborting_dynamics() else "started"
         )
-        cman = ContentionManager(topo) if contended else None
-        pending_transfers: dict[int, list] = {}
-
-        def push_flow_estimates(estimates) -> None:
-            for est in estimates:
-                events.push(
-                    Event(
-                        est.finish_time,
-                        EventKind.TRANSFER_COMPLETE,
-                        payload=(est.key, est.version),
-                    )
-                )
-
-        views: dict[str, ProcessorView] = {}
-
-        def refresh_view(name: str) -> None:
-            st = procs[name]
-            views[name] = ProcessorView(
-                processor=system[name],
-                busy=st.running is not None,
-                free_at=st.free_at if st.free_at > now else now,
-                queue_length=len(st.queue),
-                running_kernel=st.running,
-            )
-
-        for name in procs:
-            refresh_view(name)
-
-        state_version = 0
-        time_sensitive = bool(getattr(driver, "time_sensitive", True))
-        last_empty: tuple[int, float | None] | None = None
-        transfer_memo: dict[tuple[int, str], float] = {}
-        resident = _ResidentGraph(source.name, specs, preds_of, succs_of)
-
-        # ------------------------------------------------------------------
-        def admit(app_dfg: DFG, arrival_ms: float) -> None:
-            """Admit one application: renumber, register, mark ready."""
-            nonlocal next_id, n_admitted, n_apps, peak_resident, state_version
-            ids = app_dfg.kernel_ids()
-            app_index = n_apps
-            n_apps += 1
-            lo = next_id
-            id_map: dict[int, int] = {}
-            for kid in ids:
-                nid = next_id
-                next_id += 1
-                id_map[kid] = nid
-                specs[nid] = app_dfg.spec(kid)
-                preds_of[nid] = []
-                succs_of[nid] = []
-                arrival_of[nid] = arrival_ms
-                app_index_of[nid] = app_index
-                if noise_rng is not None:
-                    noise[nid] = float(
-                        noise_exp(noise_rng.normal(0.0, self.exec_noise_sigma))
-                    )
-            for u, v in app_dfg.edges():
-                preds_of[id_map[v]].append(id_map[u])
-                succs_of[id_map[u]].append(id_map[v])
-            for kid in ids:
-                nid = id_map[kid]
-                remaining_preds[nid] = len(preds_of[nid])
-                unstarted_succs[nid] = len(succs_of[nid])
-                if remaining_preds[nid] == 0:
-                    ready_time[nid] = arrival_ms
-                    ready.add(nid)
-            n_admitted += len(ids)
-            state_version += 1
-            if len(specs) > peak_resident:
-                peak_resident = len(specs)
-            service_acc.register_app(
-                app_index,
-                arrival_ms,
-                len(ids),
-                isolated_lower_bound_ms(app_dfg, ids, cost),
-            )
-
-        def retire(kid: int) -> None:
-            """Free a kernel's bookkeeping once nothing can query it again."""
-            nonlocal n_retired
-            del specs[kid]
-            del preds_of[kid]
-            del succs_of[kid]
-            del arrival_of[kid]
-            del app_index_of[kid]
-            del remaining_preds[kid]
-            del unstarted_succs[kid]
-            assignment_of.pop(kid, None)
-            ready_time.pop(kid, None)
-            assign_time.pop(kid, None)
-            is_alternative.pop(kid, None)
-            noise.pop(kid, None)
-            completed.discard(kid)
-            n_retired += 1
-
-        def mark_started(kid: int) -> None:
-            """A kernel left the ready set for good: purge its memoized
-            transfer answers and release predecessors it was pinning."""
-            for pname in proc_names:
-                transfer_memo.pop((kid, pname), None)
-            for p in preds_of[kid]:
-                unstarted_succs[p] -= 1
-                if unstarted_succs[p] == 0 and p in completed:
-                    retire(p)
-
-        def record_entry(entry: ScheduleEntry) -> None:
-            nonlocal n_alt
-            if entry.used_alternative:
-                n_alt += 1
-            if schedule is not None:
-                schedule.add(entry)
-            else:
-                metrics_acc.observe(entry)
-            service_acc.observe(app_index_of[entry.kernel_id], entry)
-
-        def make_context() -> SchedulingContext:
-            return SchedulingContext(
-                time=now,
-                ready=ready.as_tuple(),
-                dfg=resident,  # type: ignore[arg-type]
-                system=system,
-                views=views,
-                assignment_of=assignment_of,
-                completed=completed,
-                exec_history=exec_history,
-                cost=cost,
-                predecessors_of=preds_of,
-                specs_of=specs,
-                transfer_memo=transfer_memo,
-            )
-
-        def start_if_possible(name: str) -> bool:
-            st = procs[name]
-            if st.running is not None or not st.queue:
-                return False
-            kid, alternative = st.queue.popleft()
-            spec = specs[kid]
-            transfer = cost.inbound_transfer(
-                resident, kid, name, assignment_of, preds_of[kid]  # type: ignore[arg-type]
-            )
-            exec_time = cost.exec_time(
-                spec.kernel, spec.data_size, system[name].ptype
-            ) * noise.get(kid, 1.0)
-            if contended and transfer > 0.0:
-                nbytes = spec.data_size * cost.element_size
-                sources = cost.transfer_flow_sources(
-                    preds_of[kid], assignment_of, name, nbytes
-                )
-                st.running = kid
-                st.free_at = now + transfer + exec_time
-                refresh_view(name)
-                exec_history[name].append(exec_time)
-                pending_transfers[kid] = [len(sources), name, exec_time, now]
-                mark_started(kid)
-                for src in sources:
-                    route = topo.route(src, name)
-                    if route.latency_ms > 0.0:
-                        events.push(
-                            Event(
-                                now + route.latency_ms,
-                                EventKind.TRANSFER_START,
-                                payload=((kid, src), nbytes),
-                            )
-                        )
-                    else:
-                        push_flow_estimates(cman.join((kid, src), route, nbytes, now))
-                return True
-            transfer_start = now
-            exec_start = now + transfer
-            finish = exec_start + exec_time
-            st.running = kid
-            st.free_at = finish
-            refresh_view(name)
-            exec_history[name].append(exec_time)
-            record_entry(
-                ScheduleEntry(
-                    kernel_id=kid,
-                    kernel=spec.kernel,
-                    data_size=spec.data_size,
-                    processor=name,
-                    ptype=system[name].ptype.value,
-                    ready_time=ready_time[kid],
-                    assign_time=assign_time[kid],
-                    transfer_start=transfer_start,
-                    exec_start=exec_start,
-                    finish_time=finish,
-                    used_alternative=is_alternative.get(kid, False),
-                    arrival_time=arrival_of[kid],
-                )
-            )
-            mark_started(kid)
-            events.push(Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name)))
-            return True
-
-        def apply_assignments(assignments: list[Assignment]) -> bool:
-            nonlocal state_version
-            progress = False
-            touched: set[str] = set()
-            for a in assignments:
-                if a.kernel_id not in ready:
-                    raise SchedulingError(
-                        f"{policy.name}: kernel {a.kernel_id} is not ready at t={now}"
-                    )
-                if a.processor not in procs:
-                    raise SchedulingError(
-                        f"{policy.name}: unknown processor {a.processor!r}"
-                    )
-                st = procs[a.processor]
-                if not a.queued and (st.running is not None or st.queue):
-                    raise SchedulingError(
-                        f"{policy.name}: non-queued assignment of kernel "
-                        f"{a.kernel_id} to busy processor {a.processor} at t={now}"
-                    )
-                ready.remove(a.kernel_id)
-                assignment_of[a.kernel_id] = a.processor
-                assign_time[a.kernel_id] = now
-                is_alternative[a.kernel_id] = a.alternative
-                st.queue.append((a.kernel_id, a.alternative))
-                refresh_view(a.processor)
-                touched.add(a.processor)
-                progress = True
-            if touched:
-                state_version += 1
-                for name in sorted(touched, key=proc_index.__getitem__):
-                    if start_if_possible(name):
-                        progress = True
-            return progress
-
-        # arrival pipeline --------------------------------------------------
-        arrival_iter = source.arrivals() if hasattr(source, "arrivals") else iter(source)
-        pending = next(arrival_iter, None)
-        # applications arriving at t=0 are resident from the start, exactly
-        # like the merged path's arrival_ms == 0 kernels (no events).
-        while pending is not None and pending.arrival_ms == 0.0:
-            admit(pending.dfg, 0.0)
-            pending = next(arrival_iter, None)
-        if pending is not None:
-            events.push(Event(pending.arrival_ms, EventKind.APP_ARRIVAL))
-
-        # main loop ---------------------------------------------------------
-        while n_completed < n_admitted or pending is not None:
-            for _ in range(max(n_admitted, 1) * len(procs) + 2):
-                if ready:
-                    sig = (state_version, now if time_sensitive else None)
-                    if last_empty == sig:
-                        assignments = []
-                    else:
-                        assignments = list(driver.select(make_context()))
-                        if not assignments:
-                            last_empty = sig
-                else:
-                    assignments = []
-                if not apply_assignments(assignments):
-                    break
-            else:  # pragma: no cover - defensive
-                raise SchedulingError(
-                    f"{policy.name}: assignment loop did not converge at t={now}"
-                )
-
-            if not events:
-                raise SchedulingError(
-                    f"{policy.name}: deadlock at t={now} — "
-                    f"{n_admitted - n_completed} kernels unfinished, no events pending "
-                    f"(ready={list(ready)})"
-                )
-
-            batch = events.pop_simultaneous()
-            if batch[0].time != now:
-                now = batch[0].time
-                for vname, view in views.items():
-                    if view.free_at < now:
-                        refresh_view(vname)
-            for ev in batch:
-                now = ev.time
-                if ev.kind is EventKind.APP_ARRIVAL:
-                    # admit the pending application plus any others landing
-                    # at the exact same instant (they must share the batch,
-                    # as their KERNEL_READY events would in the merged path)
-                    t = ev.time
-                    while pending is not None and pending.arrival_ms == t:
-                        admit(pending.dfg, t)
-                        pending = next(arrival_iter, None)
-                    if pending is not None:
-                        events.push(Event(pending.arrival_ms, EventKind.APP_ARRIVAL))
-                    continue
-                if ev.kind is EventKind.TRANSFER_START:
-                    (kid, src), nbytes = ev.payload
-                    route = topo.route(src, pending_transfers[kid][1])
-                    push_flow_estimates(cman.join((kid, src), route, nbytes, now))
-                    continue
-                if ev.kind is EventKind.TRANSFER_COMPLETE:
-                    key, version = ev.payload
-                    estimates = cman.complete(key, version, now)
-                    if estimates is None:
-                        continue
-                    push_flow_estimates(estimates)
-                    kid = key[0]
-                    pend = pending_transfers[kid]
-                    pend[0] -= 1
-                    if pend[0] > 0:
-                        continue
-                    _, name, exec_time, transfer_start = pend
-                    del pending_transfers[kid]
-                    st = procs[name]
-                    finish = now + exec_time
-                    st.free_at = finish
-                    refresh_view(name)
-                    state_version += 1
-                    spec = specs[kid]
-                    record_entry(
-                        ScheduleEntry(
-                            kernel_id=kid,
-                            kernel=spec.kernel,
-                            data_size=spec.data_size,
-                            processor=name,
-                            ptype=system[name].ptype.value,
-                            ready_time=ready_time[kid],
-                            assign_time=assign_time[kid],
-                            transfer_start=transfer_start,
-                            exec_start=now,
-                            finish_time=finish,
-                            used_alternative=is_alternative.get(kid, False),
-                            arrival_time=arrival_of[kid],
-                        )
-                    )
-                    events.push(
-                        Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name))
-                    )
-                    continue
-                kid, name = ev.payload
-                st = procs[name]
-                if st.running != kid:  # pragma: no cover - defensive
-                    raise SchedulingError(
-                        f"completion event for kernel {kid} on {name}, "
-                        f"but {st.running} is running"
-                    )
-                st.running = None
-                refresh_view(name)
-                completed.add(kid)
-                n_completed += 1
-                state_version += 1
-                for succ in succs_of[kid]:
-                    remaining_preds[succ] -= 1
-                    if remaining_preds[succ] == 0:
-                        ready_time[succ] = now
-                        ready.add(succ)
-                if unstarted_succs[kid] == 0:
-                    retire(kid)
-                start_if_possible(name)
-
-        stats = policy.stats()
-        metrics = (
-            compute_metrics(schedule, system, n_alternative_assignments=n_alt)
-            if schedule is not None
-            else metrics_acc.finalize(n_alternative_assignments=n_alt)
+        metrics_layer = MetricsDynamics(
+            self.system, retain_schedule=retain_schedule, service=True
         )
+        engine = self._build_engine(
+            policy, driver, admission, metrics_layer, retirement=retirement
+        )
+        engine.run_loop()
+
+        schedule = metrics_layer.schedule
+        metrics = metrics_layer.metrics()
         return StreamResult(
             schedule=schedule,
             metrics=metrics,
-            service=service_acc.finalize(),
+            service=metrics_layer.service(),
             stream=StreamStats(
-                n_applications=n_apps,
-                n_kernels=n_admitted,
-                retired_kernels=n_retired,
-                peak_resident_kernels=peak_resident,
+                n_applications=admission.n_apps,
+                n_kernels=engine.n_admitted,
+                retired_kernels=retirement.n_retired,
+                peak_resident_kernels=engine.peak_resident,
             ),
             policy_name=policy.name,
-            policy_stats=stats,
+            policy_stats=policy.stats(),
             source_name=source.name,
-            trace=StateTrace.from_schedule(schedule, system)
+            trace=StateTrace.from_schedule(schedule, self.system)
             if self.collect_trace and schedule is not None
             else None,
+            energy=energy_from_metrics(metrics, self.system, self.power_model),
+            dynamics_stats=engine.dynamics_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -929,375 +601,3 @@ class Simulator:
             k: float(_np.exp(noise_rng.normal(0.0, self.exec_noise_sigma)))
             for k in dfg.kernel_ids()
         }
-
-    # ------------------------------------------------------------------
-    def _simulate(
-        self,
-        dfg: DFG,
-        policy: Policy,
-        driver: DynamicPolicy,
-        arrivals: dict[int, float],
-    ) -> SimulationResult:
-        system = self.system
-        cost = self.cost
-        procs: dict[str, _ProcState] = {p.name: _ProcState() for p in system}
-        proc_index = {p.name: i for i, p in enumerate(system)}
-        kernel_ids = dfg.kernel_ids()
-        # Adjacency and specs precomputed once — dfg.predecessors() /
-        # .successors() sort per call, far too hot for the inner loop.
-        specs = {k: dfg.spec(k) for k in kernel_ids}
-        preds_of = {k: dfg.predecessors(k) for k in kernel_ids}
-        succs_of = {k: dfg.successors(k) for k in kernel_ids}
-        arrival_of = {k: arrivals.get(k, 0.0) for k in kernel_ids}
-        # FCFS ready queue: kernels arrived and with all dependencies done.
-        ready = _ReadyQueue([k for k in dfg.entry_kernels() if arrival_of[k] == 0.0])
-        ready_time: dict[int, float] = {k: 0.0 for k in ready}
-        assign_time: dict[int, float] = {}
-        is_alternative: dict[int, bool] = {}
-        assignment_of: dict[int, str] = {}
-        completed: set[int] = set()
-        remaining_preds: dict[int, int] = {k: len(preds_of[k]) for k in kernel_ids}
-        exec_history: dict[str, list[float]] = {p.name: [] for p in system}
-        events = EventQueue()
-        schedule = Schedule()
-        now = 0.0
-        n_kernels = len(dfg)
-        arrived: set[int] = {k for k, t in arrival_of.items() if t == 0.0}
-        for kid, t in arrival_of.items():
-            if t > 0.0:
-                events.push(Event(t, EventKind.KERNEL_READY, payload=(kid, None)))
-        noise = self._noise_factors(dfg)
-
-        # Contended-transfer state (only for contention-enabled topologies;
-        # every other configuration keeps the fixed-charge path below,
-        # byte-for-byte unchanged).  ``pending_transfers`` tracks kernels
-        # whose inbound flows are in flight: [flows_left, processor,
-        # exec_time, transfer_start].
-        topo = system.topology
-        contended = (
-            topo is not None and topo.contended and self.transfers_enabled
-        )
-        cman = ContentionManager(topo) if contended else None
-        pending_transfers: dict[int, list] = {}
-
-        def push_flow_estimates(estimates) -> None:
-            for est in estimates:
-                events.push(
-                    Event(
-                        est.finish_time,
-                        EventKind.TRANSFER_COMPLETE,
-                        payload=(est.key, est.version),
-                    )
-                )
-
-        # Incrementally-maintained processor views: the live dict handed to
-        # every context.  A view is rebuilt only when its processor's state
-        # changes (``refresh_view`` on each mutation) or when the clock
-        # advances past its free_at clamp — not on every policy invocation.
-        views: dict[str, ProcessorView] = {}
-
-        def refresh_view(name: str) -> None:
-            st = procs[name]
-            views[name] = ProcessorView(
-                processor=system[name],
-                busy=st.running is not None,
-                free_at=st.free_at if st.free_at > now else now,
-                queue_length=len(st.queue),
-                running_kernel=st.running,
-            )
-
-        for name in procs:
-            refresh_view(name)
-
-        # Incremental re-invocation guard: ``state_version`` bumps on every
-        # mutation a policy could observe (ready set, processor states,
-        # completions, exec history).  An empty answer is remembered and the
-        # policy is not re-asked until the version moves — or, for
-        # time-sensitive policies, the clock does.
-        state_version = 0
-        time_sensitive = bool(getattr(driver, "time_sensitive", True))
-        last_empty: tuple[int, float | None] | None = None
-
-        # Run-level memo of SchedulingContext.transfer_time answers for
-        # kernels whose predecessors all completed (then final forever).
-        transfer_memo: dict[tuple[int, str], float] = {}
-
-        def make_context() -> SchedulingContext:
-            # Live references throughout — nothing is copied per invocation.
-            return SchedulingContext(
-                time=now,
-                ready=ready.as_tuple(),
-                dfg=dfg,
-                system=system,
-                views=views,
-                assignment_of=assignment_of,
-                completed=completed,
-                exec_history=exec_history,
-                cost=cost,
-                predecessors_of=preds_of,
-                specs_of=specs,
-                transfer_memo=transfer_memo,
-            )
-
-        def start_if_possible(name: str) -> bool:
-            """Pop the processor's queue head and start it, if idle."""
-            st = procs[name]
-            if st.running is not None or not st.queue:
-                return False
-            kid, alternative = st.queue.popleft()
-            spec = specs[kid]
-            transfer = cost.inbound_transfer(dfg, kid, name, assignment_of, preds_of[kid])
-            exec_time = cost.exec_time(
-                spec.kernel, spec.data_size, system[name].ptype
-            ) * noise.get(kid, 1.0)
-            if contended and transfer > 0.0:
-                # One flow per distinct source processor; the kernel
-                # computes when the last flow finishes.  free_at holds the
-                # uncontended estimate until then.
-                nbytes = spec.data_size * cost.element_size
-                sources = cost.transfer_flow_sources(
-                    preds_of[kid], assignment_of, name, nbytes
-                )
-                st.running = kid
-                st.free_at = now + transfer + exec_time
-                refresh_view(name)
-                exec_history[name].append(exec_time)
-                pending_transfers[kid] = [len(sources), name, exec_time, now]
-                for src in sources:
-                    route = topo.route(src, name)
-                    if route.latency_ms > 0.0:
-                        events.push(
-                            Event(
-                                now + route.latency_ms,
-                                EventKind.TRANSFER_START,
-                                payload=((kid, src), nbytes),
-                            )
-                        )
-                    else:
-                        push_flow_estimates(cman.join((kid, src), route, nbytes, now))
-                return True
-            transfer_start = now
-            exec_start = now + transfer
-            finish = exec_start + exec_time
-            st.running = kid
-            st.free_at = finish
-            refresh_view(name)
-            exec_history[name].append(exec_time)
-            schedule.add(
-                ScheduleEntry(
-                    kernel_id=kid,
-                    kernel=spec.kernel,
-                    data_size=spec.data_size,
-                    processor=name,
-                    ptype=system[name].ptype.value,
-                    ready_time=ready_time[kid],
-                    assign_time=assign_time[kid],
-                    transfer_start=transfer_start,
-                    exec_start=exec_start,
-                    finish_time=finish,
-                    used_alternative=is_alternative.get(kid, False),
-                    arrival_time=arrival_of[kid],
-                )
-            )
-            events.push(Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name)))
-            return True
-
-        def apply_assignments(assignments: list[Assignment]) -> bool:
-            nonlocal state_version
-            progress = False
-            touched: set[str] = set()
-            for a in assignments:
-                if a.kernel_id not in ready:
-                    raise SchedulingError(
-                        f"{policy.name}: kernel {a.kernel_id} is not ready at t={now}"
-                    )
-                if a.processor not in procs:
-                    raise SchedulingError(
-                        f"{policy.name}: unknown processor {a.processor!r}"
-                    )
-                st = procs[a.processor]
-                if not a.queued and (st.running is not None or st.queue):
-                    raise SchedulingError(
-                        f"{policy.name}: non-queued assignment of kernel "
-                        f"{a.kernel_id} to busy processor {a.processor} at t={now}"
-                    )
-                ready.remove(a.kernel_id)
-                assignment_of[a.kernel_id] = a.processor
-                assign_time[a.kernel_id] = now
-                is_alternative[a.kernel_id] = a.alternative
-                st.queue.append((a.kernel_id, a.alternative))
-                refresh_view(a.processor)
-                touched.add(a.processor)
-                progress = True
-            if touched:
-                state_version += 1
-                # Start in system declaration order — start order decides
-                # event insertion order, which breaks completion-time ties.
-                for name in sorted(touched, key=proc_index.__getitem__):
-                    if start_if_possible(name):
-                        progress = True
-            return progress
-
-        # main loop -----------------------------------------------------
-        while len(completed) < n_kernels:
-            # assignment fixpoint at the current instant
-            for _ in range(n_kernels * len(procs) + 2):
-                if ready:
-                    sig = (state_version, now if time_sensitive else None)
-                    if last_empty == sig:
-                        assignments = []
-                    else:
-                        assignments = list(driver.select(make_context()))
-                        if not assignments:
-                            last_empty = sig
-                else:
-                    assignments = []
-                if not apply_assignments(assignments):
-                    break
-            else:  # pragma: no cover - defensive
-                raise SchedulingError(
-                    f"{policy.name}: assignment loop did not converge at t={now}"
-                )
-
-            if not events:
-                raise SchedulingError(
-                    f"{policy.name}: deadlock at t={now} — "
-                    f"{n_kernels - len(completed)} kernels unfinished, no events pending "
-                    f"(ready={list(ready)})"
-                )
-
-            batch = events.pop_simultaneous()
-            if batch[0].time != now:
-                now = batch[0].time
-                # clock moved: idle processors' free_at clamps to the new now
-                for vname, view in views.items():
-                    if view.free_at < now:
-                        refresh_view(vname)
-            for ev in batch:
-                now = ev.time
-                if ev.kind is EventKind.TRANSFER_START:
-                    # a flow's route latency elapsed: it starts draining
-                    (kid, src), nbytes = ev.payload
-                    route = topo.route(src, pending_transfers[kid][1])
-                    push_flow_estimates(cman.join((kid, src), route, nbytes, now))
-                    continue
-                if ev.kind is EventKind.TRANSFER_COMPLETE:
-                    key, version = ev.payload
-                    estimates = cman.complete(key, version, now)
-                    if estimates is None:
-                        continue  # stale: a reshare superseded this event
-                    push_flow_estimates(estimates)
-                    kid = key[0]
-                    pending = pending_transfers[kid]
-                    pending[0] -= 1
-                    if pending[0] > 0:
-                        continue
-                    # last inbound flow done: the kernel computes now
-                    _, name, exec_time, transfer_start = pending
-                    del pending_transfers[kid]
-                    st = procs[name]
-                    finish = now + exec_time
-                    st.free_at = finish
-                    refresh_view(name)
-                    state_version += 1
-                    spec = specs[kid]
-                    schedule.add(
-                        ScheduleEntry(
-                            kernel_id=kid,
-                            kernel=spec.kernel,
-                            data_size=spec.data_size,
-                            processor=name,
-                            ptype=system[name].ptype.value,
-                            ready_time=ready_time[kid],
-                            assign_time=assign_time[kid],
-                            transfer_start=transfer_start,
-                            exec_start=now,
-                            finish_time=finish,
-                            used_alternative=is_alternative.get(kid, False),
-                            arrival_time=arrival_of[kid],
-                        )
-                    )
-                    events.push(
-                        Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name))
-                    )
-                    continue
-                kid, name = ev.payload
-                if ev.kind is EventKind.KERNEL_READY:
-                    # streaming arrival: the kernel enters the system now
-                    arrived.add(kid)
-                    if remaining_preds[kid] == 0:
-                        ready_time[kid] = now
-                        ready.add(kid)
-                        state_version += 1
-                    continue
-                st = procs[name]
-                if st.running != kid:  # pragma: no cover - defensive
-                    raise SchedulingError(
-                        f"completion event for kernel {kid} on {name}, "
-                        f"but {st.running} is running"
-                    )
-                st.running = None
-                refresh_view(name)
-                completed.add(kid)
-                state_version += 1
-                for succ in succs_of[kid]:
-                    remaining_preds[succ] -= 1
-                    if remaining_preds[succ] == 0 and succ in arrived:
-                        ready_time[succ] = now
-                        ready.add(succ)
-                # a queued kernel may start immediately on the freed processor
-                start_if_possible(name)
-
-        schedule.validate(dfg)
-        stats = policy.stats()
-        n_alt = sum(1 for e in schedule if e.used_alternative)
-        return SimulationResult(
-            schedule=schedule,
-            metrics=compute_metrics(schedule, self.system, n_alternative_assignments=n_alt),
-            policy_name=policy.name,
-            policy_stats=stats,
-            dfg_name=dfg.name,
-            trace=StateTrace.from_schedule(schedule, self.system)
-            if self.collect_trace
-            else None,
-        )
-
-
-class _PlanDispatcher(DynamicPolicy):
-    """Internal driver executing a :class:`StaticPlan`.
-
-    Each processor runs its planned kernels strictly in plan-priority
-    order; a kernel is dispatched once it is ready, its processor is idle,
-    and every earlier-priority kernel planned to that processor has been
-    dispatched.
-    """
-
-    name = "_plan"
-    time_sensitive = False
-
-    def __init__(self, plan: StaticPlan) -> None:
-        self._plan = plan
-        # per-processor dispatch order
-        self._order: dict[str, list[int]] = {}
-        for kid, proc in plan.processor_of.items():
-            self._order.setdefault(proc, []).append(kid)
-        for proc in self._order:
-            self._order[proc].sort(key=lambda k: plan.priority[k])
-        # per-processor cursor into _order: everything before it dispatched.
-        self._cursor: dict[str, int] = {proc: 0 for proc in self._order}
-
-    def reset(self) -> None:
-        self._cursor = {proc: 0 for proc in self._order}
-
-    def select(self, ctx: SchedulingContext) -> list[Assignment]:
-        out: list[Assignment] = []
-        ready = set(ctx.ready)
-        for proc_name, order in self._order.items():
-            view = ctx.views[proc_name]
-            if not view.idle:
-                continue
-            i = self._cursor[proc_name]
-            if i < len(order) and order[i] in ready:
-                self._cursor[proc_name] = i + 1
-                out.append(Assignment(kernel_id=order[i], processor=proc_name))
-        return out

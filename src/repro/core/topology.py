@@ -543,6 +543,25 @@ class ContentionManager:
         flow = self._flows.get(key)
         if flow is None or flow.version != version:
             return None
+        return self._release(key, flow, now)
+
+    def cancel(self, key: object, now: float) -> list[FlowEstimate] | None:
+        """Abandon an in-flight flow regardless of version.
+
+        The abort path of fault-injection/preemption dynamics: the
+        receiving kernel was evicted, so the flow stops draining and its
+        bandwidth share is released.  Returns fresh estimates for the
+        flows whose share changed, or ``None`` if the flow was unknown
+        (already completed).  Any completion event still queued for the
+        cancelled flow becomes stale and is skipped by :meth:`complete`.
+        """
+        flow = self._flows.get(key)
+        if flow is None:
+            return None
+        return self._release(key, flow, now)
+
+    def _release(self, key: object, flow: _Flow, now: float) -> list[FlowEstimate]:
+        """Remove a flow and free its channel shares (reshare survivors)."""
         self._advance(now)
         del self._flows[key]
         for ch in flow.channels:

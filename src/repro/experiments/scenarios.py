@@ -22,8 +22,9 @@ Authoring guide with a topology cookbook: ``docs/scenarios.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.core.dynamics import DynamicsSpec
 from repro.core.lookup import LookupTable
 from repro.core.system import CPU_GPU_FPGA, Processor, ProcessorType, SystemConfig
 from repro.core.topology import (
@@ -93,6 +94,9 @@ class ScenarioSpec:
     workload: WorkloadSpec
     policies: tuple[PolicySpec, ...]
     settings: SimSettings = field(default_factory=SimSettings)
+    #: ordered runtime-dynamics stack applied to every job of the
+    #: scenario (fault injection, preemption); hashed into the cache key.
+    dynamics: tuple[DynamicsSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.policies:
@@ -120,6 +124,7 @@ class ScenarioSpec:
                         arrivals=unit.arrivals,
                         app_spans=unit.app_spans,
                         source=unit.source,
+                        dynamics=self.dynamics or None,
                         tag={
                             "scenario": self.name,
                             "policy": policy.name,
@@ -138,6 +143,7 @@ class ScenarioSpec:
             "workload": self.workload.to_dict(),
             "policies": [p.to_dict() for p in self.policies],
             "settings": self.settings.to_dict(),
+            "dynamics": [d.to_dict() for d in self.dynamics],
         }
 
     @classmethod
@@ -151,6 +157,9 @@ class ScenarioSpec:
                 PolicySpec.from_dict(p) for p in data["policies"]  # type: ignore[union-attr]
             ),
             settings=SimSettings.from_dict(data["settings"]),  # type: ignore[arg-type]
+            dynamics=tuple(
+                DynamicsSpec.from_dict(d) for d in data.get("dynamics") or ()  # type: ignore[union-attr]
+            ),
         )
 
     def describe(self) -> str:
@@ -159,8 +168,16 @@ class ScenarioSpec:
             f"scenario : {self.name}",
             f"  {self.description}",
             f"workload : {self.workload.kind} {dict(self.workload.params)}",
-            f"policies : {', '.join(p.name for p in self.policies)}",
+            f"policies : {', '.join(policy_labels(self.policies))}",
         ]
+        if self.dynamics:
+            lines.append(
+                "dynamics : "
+                + "; ".join(
+                    f"{d.kind} {dict(d.params)}" if d.params else d.kind
+                    for d in self.dynamics
+                )
+            )
         lines.append(self.build_system().describe())
         return "\n".join(lines)
 
@@ -204,6 +221,23 @@ def get_scenario(name: str) -> ScenarioSpec:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+def policy_labels(policies: Sequence[PolicySpec]) -> list[str]:
+    """Display labels, one per spec — disambiguated by parameters when
+    the same registry name appears more than once in a grid (e.g. plain
+    vs preemptive ``apt_rt``)."""
+    counts: dict[str, int] = {}
+    for spec in policies:
+        counts[spec.name] = counts.get(spec.name, 0) + 1
+    labels = []
+    for spec in policies:
+        if counts[spec.name] > 1 and spec.params:
+            params = ",".join(f"{k}={v}" for k, v in spec.params)
+            labels.append(f"{spec.name}({params})")
+        else:
+            labels.append(spec.name)
+    return labels
+
+
 @dataclass(frozen=True)
 class ScenarioOutcome:
     """A scenario's results, one :class:`JobResult` per (policy, DFG)."""
@@ -215,8 +249,8 @@ class ScenarioOutcome:
     def by_policy(self) -> dict[str, list[JobResult]]:
         n = len(self.results) // len(self.policies)
         return {
-            spec.name: list(self.results[i * n : (i + 1) * n])
-            for i, spec in enumerate(self.policies)
+            label: list(self.results[i * n : (i + 1) * n])
+            for i, label in enumerate(policy_labels(self.policies))
         }
 
     def table(self) -> TableResult:
@@ -224,14 +258,19 @@ class ScenarioOutcome:
 
         Open-system scenarios (jobs carrying app spans) additionally
         report the service-level block: mean/p95 response time, mean
-        slowdown and application throughput.
+        slowdown and application throughput.  Scenarios carrying runtime
+        dynamics (fault injection, preemption) report the availability
+        block: mean processor availability, fault and preemption counts.
         """
         service = any(r.n_applications for r in self.results)
+        faulty = any("fault" in r.dynamics for r in self.results)
+        preemptive = any("preempt" in r.dynamics for r in self.results)
         rows = []
         for name, results in self.by_policy().items():
+            base, sep, rest = name.partition("(")
             n = len(results)
             row = [
-                name.upper(),
+                base.upper() + sep + rest,
                 n,
                 sum(r.makespan for r in results) / n,
                 sum(r.total_lambda for r in results) / n,
@@ -244,10 +283,21 @@ class ScenarioOutcome:
                     sum(r.mean_slowdown for r in results) / n,
                     sum(r.throughput_apps_per_s for r in results) / n,
                 ]
+            if faulty:
+                row += [
+                    100.0 * sum(r.mean_availability for r in results) / n,
+                    sum(r.n_faults for r in results) / n,
+                ]
+            if preemptive:
+                row.append(sum(r.n_preemptions for r in results) / n)
             rows.append(tuple(row))
         headers = ["Policy", "Graphs", "Makespan (ms)", "Total λ (ms)", "Energy (J)"]
         if service:
             headers += ["Resp (ms)", "p95 Resp (ms)", "Slowdown", "Apps/s"]
+        if faulty:
+            headers += ["Avail (%)", "Faults"]
+        if preemptive:
+            headers.append("Preempts")
         return TableResult(
             title=f"Scenario {self.spec.name}",
             headers=tuple(headers),
@@ -526,12 +576,84 @@ def open_system_diurnal_scenario() -> ScenarioSpec:
     )
 
 
+# ----------------------------------------------------------------------
+# runtime-dynamics scenarios: fault injection and preemption exercising
+# the engine's RuntimeDynamics seams
+# ----------------------------------------------------------------------
+@register_scenario
+def faulty_edge_cluster_scenario() -> ScenarioSpec:
+    # The edge-cluster bus platform under processor failures: every
+    # device fails on average once a minute (exponential MTTF) and is
+    # repaired within seconds.  In-flight kernels on a failed device are
+    # re-enqueued and the policies re-consulted — the regime where
+    # adaptive placement (APT) separates hardest from load-oblivious
+    # baselines, since a static queue keeps feeding a dead processor's
+    # neighbors while APT routes around the outage.
+    procs = [Processor(f"cpu{i}", ProcessorType.CPU) for i in range(4)]
+    procs.append(Processor("gpu0", ProcessorType.GPU))
+    topo = bus_topology(
+        [p.name for p in procs],
+        bus_gbps=1.0,
+        latency_ms=0.05,
+        contention=True,
+        name="edge_bus",
+    )
+    return ScenarioSpec(
+        name="faulty_edge_cluster",
+        description=(
+            "Edge cluster (4 CPUs + 1 GPU, shared 1 GB/s bus) with "
+            "processor failures: MTTF 60 s, MTTR 4 s per device; "
+            "in-flight kernels are re-enqueued and rescheduled."
+        ),
+        system=_system_dict(procs, topo),
+        workload=WorkloadSpec.of("pipeline", n_kernels=60, stage_width=4, seed=DEFAULT_SEED),
+        policies=(PolicySpec.of("apt", alpha=2.0), PolicySpec.of("olb"), PolicySpec.of("ag")),
+        dynamics=(
+            DynamicsSpec.of("fault", mttf_ms=60_000.0, mttr_ms=4_000.0, seed=DEFAULT_SEED),
+        ),
+    )
+
+
+@register_scenario
+def preemptive_rt_scenario() -> ScenarioSpec:
+    # APT-RT's real-time lever: on a lightly-loaded open system, a ready
+    # kernel stuck behind a long occupant of its best processor (no
+    # alternative within the threshold) may evict it under a 2 ms
+    # context-switch penalty when the SRPT-style economics pay.  The
+    # preemptive variant trades a sliver of mean response for a lower
+    # total λ — the per-kernel waiting the paper's metric measures.
+    flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+    return ScenarioSpec(
+        name="preemptive_rt",
+        description=(
+            "Open system (24 Poisson applications, light load) with "
+            "preemption enabled at a 2 ms penalty: plain vs preemptive "
+            "APT-RT, with MET as the inflexible baseline."
+        ),
+        system=system_to_dict(flat),
+        workload=WorkloadSpec.of(
+            "open_system",
+            n_applications=24,
+            seed=DEFAULT_SEED,
+            profile="poisson",
+            mean_interarrival_ms=30_000.0,
+        ),
+        policies=(
+            PolicySpec.of("apt_rt", alpha=1.5),
+            PolicySpec.of("apt_rt", alpha=1.5, preemptive=True, preempt_factor=1.5),
+            PolicySpec.of("met"),
+        ),
+        dynamics=(DynamicsSpec.of("preempt", penalty_ms=2.0),),
+    )
+
+
 __all__ = [
     "ScenarioOutcome",
     "ScenarioSpec",
     "WorkloadSpec",
     "available_scenarios",
     "get_scenario",
+    "policy_labels",
     "register_scenario",
     "run_scenario",
 ]

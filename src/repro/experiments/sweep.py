@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.core.dynamics import DynamicsSpec
 from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,7 +75,13 @@ from repro.policies.registry import get_policy
 #: ``source`` (the declarative arrival-source description), so the cache
 #: key is arrival-source-aware; results gained the service-level fields
 #: (response time, slowdown, throughput).
-SWEEP_FORMAT_VERSION = 4
+#: v5: runtime dynamics — the payload gained ``dynamics`` (the ordered
+#: stack of :class:`~repro.core.dynamics.DynamicsSpec` layers: fault
+#: injection, preemption), so two runs differing only in their dynamics
+#: never share a cache entry; results gained the fault/preemption block
+#: (``dynamics``, ``mean_availability``, ``n_faults``,
+#: ``n_preemptions``).
+SWEEP_FORMAT_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -260,6 +267,11 @@ class SweepJob:
     #: identical merged DFGs but different declared sources never share
     #: a cache entry.
     source: dict[str, object] | None = None
+    #: ordered runtime-dynamics stack (serialized
+    #: :class:`~repro.core.dynamics.DynamicsSpec` dicts); part of the
+    #: content hash — a faulty run must never share a cache entry with
+    #: its fault-free twin.
+    dynamics: list[dict[str, object]] | None = None
     #: Optional precomputed digest of ``lookup`` (set by :func:`make_job`);
     #: purely a hashing shortcut, never semantics.
     lookup_digest: str | None = field(default=None, compare=False)
@@ -286,6 +298,7 @@ class SweepJob:
             else power_model_to_dict(DEFAULT_POWER_MODEL),
             "app_spans": self.app_spans,
             "source": self.source,
+            "dynamics": self.dynamics,
             "provider": None,
         }
 
@@ -378,6 +391,7 @@ def make_job(
     tag: Mapping[str, object] | None = None,
     app_spans: "Sequence[AppSpan] | None" = None,
     source: Mapping[str, object] | None = None,
+    dynamics: "Sequence[DynamicsSpec] | None" = None,
 ) -> SweepJob:
     """Serialize live objects into a :class:`SweepJob`."""
     records, digest = _lookup_records(lookup)
@@ -394,6 +408,7 @@ def make_job(
         lookup_digest=digest,
         app_spans=app_spans_to_payload(app_spans),
         source=dict(source) if source else None,
+        dynamics=[d.to_dict() for d in dynamics] if dynamics else None,
     )
 
 
@@ -404,7 +419,10 @@ class JobResult:
     The service-level block (``n_applications`` onward) is zero for
     closed-system jobs; it is populated when the job carried
     ``app_spans`` — the open-system accounting of
-    :mod:`repro.core.metrics`.
+    :mod:`repro.core.metrics`.  The dynamics block (``dynamics``
+    onward) is populated when the job carried a runtime-dynamics stack
+    (fault injection, preemption); ``mean_availability`` is 1 for every
+    other job.
     """
 
     job_hash: str
@@ -425,6 +443,10 @@ class JobResult:
     mean_queueing_ms: float = 0.0
     mean_slowdown: float = 0.0
     throughput_apps_per_s: float = 0.0
+    dynamics: tuple[str, ...] = ()
+    mean_availability: float = 1.0
+    n_faults: int = 0
+    n_preemptions: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -447,6 +469,10 @@ class JobResult:
             "mean_queueing_ms": self.mean_queueing_ms,
             "mean_slowdown": self.mean_slowdown,
             "throughput_apps_per_s": self.throughput_apps_per_s,
+            "dynamics": list(self.dynamics),
+            "mean_availability": self.mean_availability,
+            "n_faults": self.n_faults,
+            "n_preemptions": self.n_preemptions,
         }
 
     @classmethod
@@ -473,6 +499,10 @@ class JobResult:
             mean_queueing_ms=float(data.get("mean_queueing_ms", 0.0)),  # type: ignore[arg-type]
             mean_slowdown=float(data.get("mean_slowdown", 0.0)),  # type: ignore[arg-type]
             throughput_apps_per_s=float(data.get("throughput_apps_per_s", 0.0)),  # type: ignore[arg-type]
+            dynamics=tuple(str(k) for k in data.get("dynamics") or ()),  # type: ignore[union-attr]
+            mean_availability=float(data.get("mean_availability", 1.0)),  # type: ignore[arg-type]
+            n_faults=int(data.get("n_faults", 0)),  # type: ignore[arg-type]
+            n_preemptions=int(data.get("n_preemptions", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -499,6 +529,9 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
     power_model = power_model_from_dict(payload["power_model"])  # type: ignore[arg-type]
     raw_arrivals = payload.get("arrivals") or {}
     arrivals = {int(k): float(v) for k, v in raw_arrivals.items()}  # type: ignore[union-attr]
+    dynamics = [
+        DynamicsSpec.from_dict(d) for d in payload.get("dynamics") or ()  # type: ignore[union-attr]
+    ]
 
     sim = Simulator(
         system,
@@ -508,6 +541,7 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
         transfers_enabled=settings.transfers_enabled,
         exec_noise_sigma=settings.exec_noise_sigma,
         noise_seed=settings.noise_seed,
+        dynamics=dynamics,
     )
     result = sim.run(dfg, policy_spec.build(), arrivals=arrivals or None)
     energy = energy_of(result.schedule, system, power_model)
@@ -536,6 +570,17 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
             "throughput_apps_per_s": service.throughput_apps_per_s,
         }
 
+    dynamics_fields: dict[str, object] = {}
+    if dynamics:
+        fault_stats = result.dynamics_stats.get("fault", {})
+        preempt_stats = result.dynamics_stats.get("preemption", {})
+        dynamics_fields = {
+            "dynamics": tuple(d.kind for d in dynamics),
+            "mean_availability": float(fault_stats.get("mean_availability", 1.0)),
+            "n_faults": int(fault_stats.get("n_faults", 0)),
+            "n_preemptions": int(preempt_stats.get("n_preemptions", 0)),
+        }
+
     key = payload.get("job_hash") or hash_payload(payload)
     return JobResult(
         job_hash=str(key),
@@ -551,6 +596,7 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
         energy_joules=energy.total_joules,
         energy_delay_product=energy.energy_delay_product,
         **service_fields,  # type: ignore[arg-type]
+        **dynamics_fields,  # type: ignore[arg-type]
     ).to_dict()
 
 

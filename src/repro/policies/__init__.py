@@ -9,11 +9,13 @@ from repro.policies.base import (
     Assignment,
     DynamicPolicy,
     Policy,
+    PreemptionInfo,
     ProcessorView,
     SchedulingContext,
     StaticPlan,
     StaticPolicy,
 )
+from repro.policies.plan import PlanDispatcher
 from repro.policies.apt import APT
 from repro.policies.apt_rt import APT_RT
 from repro.policies.met import MET
@@ -36,7 +38,9 @@ from repro.policies.registry import (
 __all__ = [
     "Assignment",
     "DynamicPolicy",
+    "PlanDispatcher",
     "Policy",
+    "PreemptionInfo",
     "ProcessorView",
     "SchedulingContext",
     "StaticPlan",

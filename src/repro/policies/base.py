@@ -57,6 +57,11 @@ class ProcessorView:
 
     ``free_at`` is the time the processor finishes everything currently
     started or queued on it (equals the current time when idle).
+    ``available`` is false while the processor is out of service — failed
+    and awaiting repair (:class:`~repro.core.dynamics.FaultDynamics`) or
+    paying a preemption context-switch penalty; ``free_at`` then reports
+    the expected return-to-service time.  An unavailable processor is
+    never :attr:`idle`.
     """
 
     processor: Processor
@@ -64,6 +69,7 @@ class ProcessorView:
     free_at: float
     queue_length: int
     running_kernel: int | None
+    available: bool = True
 
     @property
     def name(self) -> str:
@@ -75,7 +81,33 @@ class ProcessorView:
 
     @property
     def idle(self) -> bool:
-        return not self.busy and self.queue_length == 0
+        return not self.busy and self.queue_length == 0 and self.available
+
+
+class PreemptionInfo:
+    """Preemption window exposed to policies via ``ctx.preemption``.
+
+    Present (non-``None``) only when the run carries a
+    :class:`~repro.core.dynamics.PreemptionDynamics` layer.
+    ``penalty_ms`` is the context-switch cost a granted preemption
+    charges to the preempted processor before it can dispatch again;
+    :meth:`elapsed_ms` lets a policy weigh the work an eviction would
+    discard (preempted kernels restart from scratch).
+    """
+
+    __slots__ = ("penalty_ms", "_engine")
+
+    def __init__(self, penalty_ms: float, engine=None) -> None:
+        self.penalty_ms = float(penalty_ms)
+        self._engine = engine
+
+    def elapsed_ms(self, processor: str) -> float | None:
+        """How long the processor's current kernel has been occupying it
+        (inbound transfer included), or ``None`` if nothing is running —
+        the work a preemption would discard."""
+        if self._engine is None:
+            return None
+        return self._engine.elapsed_running_ms(processor)
 
 
 class SchedulingContext:
@@ -111,6 +143,7 @@ class SchedulingContext:
         "_preds",
         "_specs",
         "_transfer_memo",
+        "preemption",
     )
 
     def __init__(
@@ -131,6 +164,7 @@ class SchedulingContext:
         predecessors_of: Mapping[int, list[int]] | None = None,
         specs_of: "Mapping[int, object] | None" = None,
         transfer_memo: "dict[tuple[int, str], float] | None" = None,
+        preemption: PreemptionInfo | None = None,
     ) -> None:
         if cost is None:
             if lookup is None:
@@ -154,6 +188,7 @@ class SchedulingContext:
         self._preds = predecessors_of
         self._specs = specs_of
         self._transfer_memo = transfer_memo
+        self.preemption = preemption
 
     # ------------------------------------------------------------------
     # cost-model passthroughs (back-compat attribute surface)
@@ -180,6 +215,20 @@ class SchedulingContext:
     def idle_processors(self) -> list[ProcessorView]:
         """Idle processors, in system declaration order."""
         return [self.views[p.name] for p in self.system if self.views[p.name].idle]
+
+    def available(self, processor: str) -> bool:
+        """Whether ``processor`` is in service (not failed / penalized).
+
+        Always true on runs without fault-injection or preemption
+        dynamics; see :attr:`ProcessorView.available`.
+        """
+        return self.views[processor].available
+
+    def available_processors(self) -> list[ProcessorView]:
+        """In-service processors, in system declaration order."""
+        return [
+            self.views[p.name] for p in self.system if self.views[p.name].available
+        ]
 
     def _spec(self, kernel_id: int):
         if self._specs is not None:
@@ -309,6 +358,7 @@ class SchedulingContext:
             predecessors_of=self._preds,
             specs_of=self._specs,
             transfer_memo=self._transfer_memo,
+            preemption=self.preemption,
         )
 
 
@@ -385,6 +435,28 @@ class DynamicPolicy(Policy):
 
         Called repeatedly until it returns no new assignment at the current
         time; it must therefore be idempotent on an unchanged context.
+        """
+
+    def preempt(self, ctx: SchedulingContext) -> Sequence[str]:
+        """Processors whose running kernel this policy wants preempted.
+
+        Consulted once per event boundary, and only on runs carrying a
+        :class:`~repro.core.dynamics.PreemptionDynamics` layer
+        (``ctx.preemption`` is then non-``None``).  A granted preemption
+        aborts the processor's running kernel (it returns to the ready
+        set and the policy is re-consulted — the migration path) and
+        blocks the processor for ``ctx.preemption.penalty_ms``.
+        Invalid requests (idle or out-of-service processors) are ignored.
+        The default preempts nothing.
+        """
+        return ()
+
+    def on_abort(self, kid: int) -> None:
+        """A kernel this policy had placed was aborted (fault/preemption).
+
+        The kernel is back in the ready set with a cleared assignment;
+        stateful drivers (e.g. static-plan dispatchers) use this to
+        re-queue it.  The default does nothing.
         """
 
 

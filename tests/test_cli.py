@@ -110,6 +110,33 @@ class TestScenario:
         recorded = (tmp_path / "scenario_edge_cluster_bus.txt").read_text()
         assert "APT" in recorded
 
+    def test_run_with_dynamics_override(self, capsys, tmp_path):
+        # inject a fault profile into a scenario that ships without one
+        out = run_cli(
+            capsys, "scenario", "run", "dual_socket_tree",
+            "--dynamics", "fault:mttf_ms=30000,mttr_ms=1500,seed=3",
+            "--results-dir", str(tmp_path),
+        )
+        assert "Avail (%)" in out and "Faults" in out
+        # overridden runs record beside, never over, the canonical artifact
+        assert not (tmp_path / "scenario_dual_socket_tree.txt").exists()
+        recorded = (tmp_path / "scenario_dual_socket_tree_override.txt").read_text()
+        assert "Avail (%)" in recorded
+
+    def test_run_with_dynamics_none_clears_stack(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "scenario", "run", "faulty_edge_cluster",
+            "--dynamics", "none",
+            "--results-dir", str(tmp_path),
+        )
+        assert "Avail (%)" not in out
+
+    def test_bad_dynamics_spec_is_a_usage_error(self, capsys):
+        assert main([
+            "scenario", "run", "paper_type1", "--dynamics", "warp:speed=9",
+        ]) == 2
+        assert "bad --dynamics spec" in capsys.readouterr().err
+
     def test_run_honours_engine_flags(self, capsys, tmp_path):
         # --workers with --cache-dir: second run must simulate nothing.
         cache = tmp_path / "cache"

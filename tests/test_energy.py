@@ -90,3 +90,81 @@ class TestEnergyOf:
         report = energy_of(result.schedule, synth_sim.system)
         expected = (10 / 1e3) * (95.0 + 225.0 + 25.0)
         assert report.busy_joules == pytest.approx(expected)
+
+
+class TestOpenSystemEnergyParity:
+    """``run_stream`` reports energy through the accumulator path; it
+    must be bit-equal to batch-integrating the retained schedule — and
+    to the closed-system run of the identical merged workload."""
+
+    def workload(self):
+        import numpy as np
+
+        from repro.graphs.generators import make_type1_dfg
+        from repro.graphs.streams import ApplicationArrival, ApplicationStream
+
+        apps = [
+            ApplicationArrival(
+                make_type1_dfg(
+                    12, rng=np.random.default_rng(40 + i), name=f"app{i}"
+                ),
+                float(i) * 1500.0,
+            )
+            for i in range(5)
+        ]
+        return ApplicationStream(apps)
+
+    def test_stream_energy_matches_closed_run(self, system, paper_lookup):
+        from repro.core.energy import energy_of
+        from repro.core.simulator import Simulator
+        from repro.policies.registry import get_policy
+
+        stream = self.workload()
+        sim = Simulator(system, paper_lookup)
+        out = sim.run_stream(stream, get_policy("apt"))
+        assert out.energy is not None
+
+        merged, arrivals = stream.merged(name="stream")
+        closed = sim.run(merged, get_policy("apt"), arrivals=arrivals)
+        batch = energy_of(closed.schedule, system)
+        assert out.energy.total_joules == batch.total_joules
+        assert out.energy.makespan_ms == batch.makespan_ms
+        for name in (p.name for p in system):
+            assert (
+                out.energy.per_processor[name] == batch.per_processor[name]
+            )
+
+    def test_retained_and_dropped_schedule_agree(self, system, paper_lookup):
+        from repro.core.simulator import Simulator
+        from repro.policies.registry import get_policy
+
+        stream = self.workload()
+        sim = Simulator(system, paper_lookup)
+        kept = sim.run_stream(stream, get_policy("met"), retain_schedule=True)
+        dropped = sim.run_stream(stream, get_policy("met"), retain_schedule=False)
+        assert dropped.schedule is None
+        assert kept.energy == dropped.energy
+
+    def test_energy_from_metrics_equals_energy_of(self, system, paper_lookup):
+        from repro.core.energy import energy_from_metrics, energy_of
+        from repro.core.metrics import compute_metrics
+        from repro.core.simulator import Simulator
+        from repro.policies.registry import get_policy
+
+        stream = self.workload()
+        merged, arrivals = stream.merged(name="stream")
+        result = Simulator(system, paper_lookup).run(
+            merged, get_policy("apt"), arrivals=arrivals
+        )
+        a = energy_of(result.schedule, system)
+        b = energy_from_metrics(compute_metrics(result.schedule, system), system)
+        assert a == b
+
+    def test_static_clairvoyant_stream_reports_energy(self, system, paper_lookup):
+        from repro.core.simulator import Simulator
+        from repro.policies.registry import get_policy
+
+        out = Simulator(system, paper_lookup).run_stream(
+            self.workload(), get_policy("heft")
+        )
+        assert out.energy is not None and out.energy.total_joules > 0.0

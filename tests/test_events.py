@@ -85,6 +85,18 @@ class TestEventQueue:
         assert q.pop().payload == "mid"
 
 
+#: the two same-timestamp ordering tiers, exhaustively
+ARRIVAL_KINDS = (EventKind.KERNEL_READY, EventKind.APP_ARRIVAL)
+PROGRESS_KINDS = (
+    EventKind.TRANSFER_START,
+    EventKind.TRANSFER_COMPLETE,
+    EventKind.KERNEL_COMPLETE,
+    EventKind.FAULT,
+    EventKind.REPAIR,
+    EventKind.PREEMPT,
+)
+
+
 class TestArrivalRankOrdering:
     """Arrival-class events (KERNEL_READY / APP_ARRIVAL) sort before
     progress-class events at the same timestamp regardless of insertion
@@ -127,3 +139,61 @@ class TestArrivalRankOrdering:
             EventKind.APP_ARRIVAL,
             EventKind.KERNEL_COMPLETE,
         ]
+
+
+class TestAllKindsEqualTimestampOrdering:
+    """Total order across *every* event kind at one timestamp: every
+    arrival-class event before every progress-class event (FAULT, REPAIR
+    and PREEMPT included), FIFO within each class — asserted pairwise
+    over all kind combinations and on the full shuffled set."""
+
+    def test_kind_partition_is_exhaustive(self):
+        assert set(ARRIVAL_KINDS) | set(PROGRESS_KINDS) == set(EventKind)
+        assert not set(ARRIVAL_KINDS) & set(PROGRESS_KINDS)
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
+    @pytest.mark.parametrize("progress", PROGRESS_KINDS)
+    def test_arrival_beats_progress_pairwise(self, arrival, progress):
+        # progress pushed first: insertion order alone would invert this
+        q = EventQueue()
+        q.push(Event(1.0, progress, payload="p"))
+        q.push(Event(1.0, arrival, payload="a"))
+        assert [q.pop().kind for _ in range(2)] == [arrival, progress]
+
+    @pytest.mark.parametrize("first", PROGRESS_KINDS)
+    @pytest.mark.parametrize("second", PROGRESS_KINDS)
+    def test_progress_kinds_are_fifo_among_themselves(self, first, second):
+        q = EventQueue()
+        q.push(Event(1.0, first, payload=1))
+        q.push(Event(1.0, second, payload=2))
+        assert [q.pop().payload for _ in range(2)] == [1, 2]
+
+    def test_full_shuffled_batch_orders_by_class_then_fifo(self):
+        # interleave the classes; expect all arrivals (in push order),
+        # then all progress events (in push order)
+        q = EventQueue()
+        pushes = [
+            (EventKind.FAULT, "f1"),
+            (EventKind.KERNEL_READY, "r1"),
+            (EventKind.PREEMPT, "p1"),
+            (EventKind.APP_ARRIVAL, "a1"),
+            (EventKind.TRANSFER_COMPLETE, "t1"),
+            (EventKind.KERNEL_READY, "r2"),
+            (EventKind.REPAIR, "f2"),
+            (EventKind.KERNEL_COMPLETE, "c1"),
+            (EventKind.APP_ARRIVAL, "a2"),
+            (EventKind.TRANSFER_START, "t2"),
+        ]
+        for kind, tag in pushes:
+            q.push(Event(4.0, kind, payload=tag))
+        batch = q.pop_simultaneous()
+        assert [e.payload for e in batch] == [
+            "r1", "a1", "r2", "a2",  # arrival class, FIFO
+            "f1", "p1", "t1", "f2", "c1", "t2",  # progress class, FIFO
+        ]
+
+    def test_time_dominates_rank_for_new_kinds(self):
+        q = EventQueue()
+        q.push(Event(2.0, EventKind.KERNEL_READY))
+        q.push(Event(1.0, EventKind.FAULT))
+        assert q.pop().kind is EventKind.FAULT

@@ -355,3 +355,100 @@ class TestEventDrivenArrivalPath:
         apt = sim.run_stream(stream, APT(alpha=8.0))
         assert met.makespan == pytest.approx(318.093, abs=1e-3)
         assert apt.makespan == pytest.approx(212.093, abs=1e-3)
+
+
+class TestLayeredEngineSeams:
+    """The engine/dynamics split must be invisible: inserting an extra
+    no-op ``RuntimeDynamics`` layer (every hook overridden, nothing
+    mutated) leaves schedules bit-for-bit identical on closed, streamed,
+    contended and Figure-5 runs alike — proof that the seams observe the
+    run without perturbing it."""
+
+    @staticmethod
+    def noop_layer():
+        from repro.core.engine import RuntimeDynamics
+
+        class NoopObserver(RuntimeDynamics):
+            name = "noop_observer"
+
+            def on_run_start(self):
+                self.seen = 0
+
+            def on_kernel_start(self, kid, proc):
+                self.seen += 1
+
+            def on_kernel_finish(self, kid, proc):
+                self.seen += 1
+
+            def on_entry(self, entry):
+                self.seen += 1
+
+            def observe(self, ctx):
+                self.seen += 1
+
+        return NoopObserver()
+
+    @pytest.mark.parametrize("policy_name", ["apt", "apt_rt", "met", "ag", "heft", "peft"])
+    @pytest.mark.parametrize("dfg_type", [1, 2])
+    def test_noop_layer_invisible_on_paper_suites(
+        self, policy_name, dfg_type, system, lookup
+    ):
+        dfg = paper_suite(dfg_type)[2]
+        base = Simulator(system, lookup).run(dfg, get_policy(policy_name))
+        layer = self.noop_layer()
+        layered = Simulator(system, lookup, dynamics=[layer]).run(
+            dfg, get_policy(policy_name)
+        )
+        assert list(layered.schedule) == list(base.schedule)
+        assert layered.metrics == base.metrics
+        assert layer.seen > 0
+
+    @pytest.mark.parametrize("policy_name", ["apt", "met", "ag"])
+    def test_noop_layer_invisible_on_contended_stream(self, policy_name, lookup):
+        from repro.experiments.workloads import streaming_scale_stream
+        from repro.graphs.sources import EagerSource
+
+        flat = CPU_GPU_FPGA(transfer_rate_gbps=4.0)
+        procs = [Processor(p.name, p.ptype) for p in flat]
+        system = SystemConfig(
+            procs,
+            topology=bus_topology(
+                [p.name for p in procs], bus_gbps=4.0, contention=True
+            ),
+        )
+        stream = streaming_scale_stream(
+            n_kernels=120, seed=5, mean_interarrival_ms=2000.0
+        )
+        base = Simulator(system, lookup).run_stream(
+            EagerSource(stream, name="s"), get_policy(policy_name)
+        )
+        layered = Simulator(system, lookup, dynamics=[self.noop_layer()]).run_stream(
+            EagerSource(stream, name="s"), get_policy(policy_name)
+        )
+        assert list(layered.schedule) == list(base.schedule)
+        assert layered.metrics == base.metrics
+        assert layered.service == base.service
+
+    def test_noop_layer_preserves_figure5_anchors(self):
+        sim = Simulator(
+            star_twin(CPU_GPU_FPGA()),
+            figure5_lookup_table(),
+            transfers_enabled=False,
+            dynamics=[self.noop_layer()],
+        )
+        dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
+        assert sim.run(dfg, MET()).makespan == pytest.approx(318.093, abs=1e-3)
+        assert sim.run(dfg, APT(alpha=8.0)).makespan == pytest.approx(
+            212.093, abs=1e-3
+        )
+
+    @pytest.mark.parametrize("policy_name", ["apt", "met"])
+    def test_noop_layer_invisible_under_noise(self, policy_name, system, lookup):
+        dfg = paper_suite(1)[1]
+        kwargs = dict(exec_noise_sigma=0.25, noise_seed=7)
+        base = Simulator(system, lookup, **kwargs).run(dfg, get_policy(policy_name))
+        layered = Simulator(
+            system, lookup, dynamics=[self.noop_layer()], **kwargs
+        ).run(dfg, get_policy(policy_name))
+        assert list(layered.schedule) == list(base.schedule)
+        assert layered.metrics == base.metrics

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fail when a source module outgrows its line budget.
+
+Guards the engine/dynamics decomposition: ``repro/core/simulator.py``
+was split from a 1,300-line monolith into a facade over
+``repro/core/engine.py`` + ``repro/core/dynamics.py``, and CI enforces
+that it stays a facade.  Usage::
+
+    python tools/check_module_size.py src/repro/core/simulator.py 700
+
+Multiple ``path budget`` pairs may be given; the script prints one line
+per module and exits non-zero if any budget is exceeded.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        print(
+            "usage: check_module_size.py <path> <max_lines> [<path> <max_lines> ...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for path_arg, budget_arg in zip(argv[0::2], argv[1::2]):
+        path = Path(path_arg)
+        budget = int(budget_arg)
+        lines = len(path.read_text(encoding="utf-8").splitlines())
+        status = "ok" if lines <= budget else "OVER BUDGET"
+        print(f"{path}: {lines} lines (budget {budget}) — {status}")
+        if lines > budget:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
