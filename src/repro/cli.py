@@ -29,17 +29,22 @@ Every sweep-shaped subcommand (``compare``, ``sweep``, ``table``,
   (``0`` = all cores); results are bit-identical to a serial run;
 * ``--cache-dir D`` — persist per-job results in ``D`` keyed by content
   hash, so re-runs only simulate what changed;
-* ``--no-cache``    — disable result caching entirely.
+* ``--no-cache``    — disable result caching entirely;
+* ``--backend B``   — engine hot path (``object`` or ``array``; also on
+  ``simulate``).  The array backend is the fast struct-of-arrays
+  implementation — results are bit-identical to the object engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
 from repro.analysis.gantt import ascii_gantt
+from repro.core.engine import BACKEND_ENV_VAR, ENGINE_BACKENDS
 from repro.core.simulator import Simulator
 from repro.core.system import CPU_GPU_FPGA
 from repro.data.paper_tables import paper_lookup_table
@@ -98,6 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable result caching (every job simulates)",
     )
+    engine.add_argument(
+        "--backend",
+        default=None,
+        choices=ENGINE_BACKENDS,
+        help=(
+            "engine hot-path implementation (default: $REPRO_BACKEND or "
+            "'object'); results are bit-identical either way"
+        ),
+    )
 
     sim = sub.add_parser("simulate", help="run one policy on one generated DFG")
     sim.add_argument("--policy", default="apt", choices=available_policies())
@@ -107,6 +121,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rate", type=float, default=4.0, help="link rate in GB/s")
     sim.add_argument("--seed", type=int, default=DEFAULT_SEED)
     sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    sim.add_argument(
+        "--backend",
+        default=None,
+        choices=ENGINE_BACKENDS,
+        help=(
+            "engine hot-path implementation (default: $REPRO_BACKEND or "
+            "'object'); results are bit-identical either way"
+        ),
+    )
 
     cmp_ = sub.add_parser(
         "compare", help="all paper policies over a suite", parents=[engine]
@@ -218,7 +241,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else get_policy(args.policy)
     )
     system = CPU_GPU_FPGA(transfer_rate_gbps=args.rate)
-    sim = Simulator(system, paper_lookup_table())
+    sim = Simulator(system, paper_lookup_table(), backend=args.backend)
     result = sim.run(dfg, policy)
     m = result.metrics
     print(f"workload : {dfg.name} ({len(dfg)} kernels, {dfg.n_edges} edges)")
@@ -452,6 +475,10 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    # Sweep-shaped subcommands resolve the backend from the environment
+    # (worker processes inherit it); the flag just sets it for this run.
+    if getattr(args, "backend", None) and args.command != "simulate":
+        os.environ[BACKEND_ENV_VAR] = args.backend
     return _COMMANDS[args.command](args)
 
 

@@ -457,10 +457,14 @@ class EngineCore:
             self.record_entry(entry)
         for h in self._start_hooks:
             h(kid, name)
+        self._push_completion(finish, kid, name, token)
+        return True
+
+    def _push_completion(self, finish: float, kid: int, name: str, token: int) -> None:
+        # Seam for the array backend, which pushes bare records instead.
         self.events.push(
             Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name, token))
         )
-        return True
 
     def record_entry(self, entry: ScheduleEntry) -> None:
         for h in self._entry_hooks:
@@ -604,6 +608,11 @@ class EngineCore:
 
     def _handle_complete(self, ev: Event) -> None:
         kid, name, token = ev.payload
+        self._complete(kid, name, token)
+
+    def _complete(self, kid: int, name: str, token: int) -> None:
+        # Record-based completion seam: the array backend calls this
+        # directly from popped heap records, without materializing Events.
         if self._live_token[name] != token:
             return  # stale: that start was aborted by a fault/preemption
         st = self.procs[name]
@@ -677,6 +686,40 @@ class EngineCore:
                     h(ctx)
         for layer in self._layers:
             layer.finalize()
+
+
+#: selectable engine backends: "object" is :class:`EngineCore` as-is,
+#: "array" is the numpy struct-of-arrays hot path
+#: (:class:`~repro.core.array_state.ArrayEngineCore`).  Both produce
+#: bit-for-bit identical schedules, metrics and policy statistics.
+ENGINE_BACKENDS = ("object", "array")
+
+#: environment override consulted when no explicit backend is given —
+#: lets the CLI and CI select the array hot path without threading a
+#: parameter through every experiment entry point.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: "str | None") -> str:
+    """Normalize a backend selector (``None`` → env var → ``"object"``)."""
+    import os
+
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "object"
+    if backend not in ENGINE_BACKENDS:
+        raise ValueError(
+            f"unknown engine backend {backend!r} (choose from {ENGINE_BACKENDS})"
+        )
+    return backend
+
+
+def make_engine(backend: "str | None", *args, **kwargs) -> EngineCore:
+    """Construct an engine core for the resolved ``backend``."""
+    if resolve_backend(backend) == "array":
+        from repro.core.array_state import ArrayEngineCore
+
+        return ArrayEngineCore(*args, **kwargs)
+    return EngineCore(*args, **kwargs)
 
 
 #: hook name → engine dispatch-list attribute.

@@ -51,6 +51,7 @@ from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.metrics import AppSpan
+from repro.core.engine import resolve_backend
 from repro.core.lookup import LookupTable
 from repro.core.simulator import Simulator
 from repro.core.system import Processor, ProcessorType, SystemConfig
@@ -81,7 +82,12 @@ from repro.policies.registry import get_policy
 #: never share a cache entry; results gained the fault/preemption block
 #: (``dynamics``, ``mean_availability``, ``n_faults``,
 #: ``n_preemptions``).
-SWEEP_FORMAT_VERSION = 5
+#: v6: engine backends — the settings section gained ``backend`` (the
+#: *resolved* engine backend, ``"object"`` or ``"array"``), so runs on
+#: different hot-path implementations never share a cache entry even
+#: though they are contractually bit-identical: a backend bug must not
+#: poison the other backend's cache.
+SWEEP_FORMAT_VERSION = 6
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +108,8 @@ class SimSettings:
     transfers_enabled: bool = True
     exec_noise_sigma: float = 0.0
     noise_seed: int = 0
+    #: Engine backend (``None`` → resolve from ``REPRO_BACKEND``/default).
+    backend: str | None = None
 
     def cost_model_dict(self) -> dict[str, object]:
         """The cost-model signature (matches ``CostModel.signature()``)."""
@@ -112,14 +120,23 @@ class SimSettings:
         }
 
     def noise_dict(self) -> dict[str, object]:
-        """The execution-noise knobs (everything outside the cost model)."""
+        """The execution-noise knobs (everything outside the cost model).
+
+        ``backend`` enters the payload *resolved* (never ``None``) so the
+        cache key always names the engine implementation that produced
+        the run, independent of the submitting process's environment.
+        """
         return {
             "exec_noise_sigma": self.exec_noise_sigma,
             "noise_seed": self.noise_seed,
+            "backend": resolve_backend(self.backend),
         }
 
     def to_dict(self) -> dict[str, object]:
-        return {**self.cost_model_dict(), **self.noise_dict()}
+        # Serialization keeps the *raw* backend (possibly ``None``) so
+        # to_dict/from_dict round-trips exactly; only the job payload
+        # (:meth:`noise_dict`) pins the resolved value.
+        return {**self.cost_model_dict(), **self.noise_dict(), "backend": self.backend}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SimSettings":
@@ -129,6 +146,7 @@ class SimSettings:
             transfers_enabled=bool(data["transfers_enabled"]),
             exec_noise_sigma=float(data["exec_noise_sigma"]),  # type: ignore[arg-type]
             noise_seed=int(data["noise_seed"]),  # type: ignore[arg-type]
+            backend=str(data["backend"]) if data.get("backend") else None,
         )
 
 
@@ -542,6 +560,7 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
         exec_noise_sigma=settings.exec_noise_sigma,
         noise_seed=settings.noise_seed,
         dynamics=dynamics,
+        backend=settings.backend,
     )
     result = sim.run(dfg, policy_spec.build(), arrivals=arrivals or None)
     energy = energy_of(result.schedule, system, power_model)

@@ -22,6 +22,8 @@ slower processor), large α floods slow processors.  The paper finds a
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.policies.base import Assignment, DynamicPolicy, SchedulingContext
 
 
@@ -42,6 +44,7 @@ class APT(DynamicPolicy):
 
     name = "apt"
     time_sensitive = False
+    batchable = True
 
     def __init__(self, alpha: float = 4.0, include_transfer: bool = True) -> None:
         if alpha < 1.0:
@@ -113,6 +116,99 @@ class APT(DynamicPolicy):
                     Assignment(kernel_id=kid, processor=best_alt, alternative=True)
                 )
             # else: wait for p_min, like MET.
+        return out
+
+    def select_batch(self, batch) -> list[Assignment]:
+        ready = batch.ready
+        idle_names = batch.idle_names
+        if not ready or not idle_names:
+            return []
+        # The exact per-candidate cost select() computes: execution plus
+        # (when enabled) the frozen inbound transfer.  Ready kernels have
+        # only completed predecessors, so batch.transfer_idle() returns
+        # the very values ctx.transfer_time would — and a predecessor-less
+        # kernel's transfer row is 0.0, making the unconditional addition
+        # bit-identical to select()'s needs_transfer branch.
+        best_cat = batch.best_cat()
+        threshold = self.alpha * batch.best_x()
+        # Phase A — vectorized candidate filter: p_min's category has an
+        # idle instance, or some idle processor is within threshold.  A
+        # kernel failing both against the *full* idle set can never be
+        # assigned (the available set only shrinks during the scan), so
+        # skipping it changes nothing downstream.  The filter runs in
+        # two passes so the per-processor cost matrix is only gathered
+        # for survivors: transfers are non-negative, so an exec-only
+        # test over-approximates the exact candidate set.
+        cat_mask = batch.idle_cat_mask()
+        has_pmin = cat_mask[best_cat]
+        pre_idx = np.flatnonzero(has_pmin | (batch.exec_min_idle() <= threshold))
+        if not pre_idx.size:
+            return []
+        C = batch.exec_idle(pre_idx)
+        if self.include_transfer:
+            C = C + batch.transfer_idle(pre_idx)
+        qual = C <= threshold[pre_idx, None]
+        cand_rel = np.flatnonzero(has_pmin[pre_idx] | qual.any(axis=1))
+        if not cand_rel.size:
+            return []
+        cand_idx = pre_idx[cand_rel]
+        # Phase B — exact FCFS pass over the candidates.  Between two
+        # assignments the available set is constant, so each candidate's
+        # outcome is a pure function of it: one vectorized scan finds the
+        # next candidate that assigns, skipping the (possibly many) whose
+        # qualifying processors were already consumed — they would fail
+        # select()'s per-kernel checks under this very avail set too.
+        Cm = np.where(qual, C, np.inf)[cand_rel]  # threshold-masked costs
+        bc = best_cat[cand_idx]
+        idle_cats = batch.idle_cats
+        avail: dict[int, None] = dict.fromkeys(range(len(idle_names)))
+        out: list[Assignment] = []
+        pos = 0
+        n_cand = cand_idx.size
+        while pos < n_cand and avail:
+            avail_js = list(avail)
+            cat_avail = np.zeros(cat_mask.size, dtype=bool)
+            for j in avail_js:
+                cat_avail[idle_cats[j]] = True
+            sub = Cm[pos:, avail_js]
+            has = cat_avail[bc[pos:]] | (sub != np.inf).any(axis=1)
+            k = int(np.argmax(has))
+            if not has[k]:
+                break
+            i = pos + k
+            kid = ready[int(cand_idx[i])]
+            bci = bc[i]
+            p_min: int | None = None
+            for j in avail_js:
+                if idle_cats[j] == bci:
+                    p_min = j
+                    break
+            if p_min is not None:
+                del avail[p_min]
+                out.append(Assignment(kernel_id=kid, processor=idle_names[p_min]))
+            else:
+                # has[i] without a best-cat instance ⇒ some column
+                # qualifies; masked-out columns are inf and never win.
+                # Strict < keeps the first (declaration-order) minimum,
+                # exactly select()'s tie-break.
+                row = Cm[i]
+                best_alt = avail_js[0]
+                best_cost = row[best_alt]
+                for j in avail_js[1:]:
+                    cost = row[j]
+                    if cost < best_cost:
+                        best_alt, best_cost = j, cost
+                del avail[best_alt]
+                kernel_name = batch.spec(kid).kernel
+                self._alt_by_kernel[kernel_name] = (
+                    self._alt_by_kernel.get(kernel_name, 0) + 1
+                )
+                out.append(
+                    Assignment(
+                        kernel_id=kid, processor=idle_names[best_alt], alternative=True
+                    )
+                )
+            pos = i + 1
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

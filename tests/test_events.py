@@ -1,8 +1,26 @@
-"""Unit tests for the event queue."""
+"""Unit tests for the event queue — both implementations.
+
+Every ordering test runs against the object engine's ``EventQueue`` and
+the array backend's ``ArrayEventHeap`` through the ``make_queue``
+fixture: the heap is a drop-in replacement, so the two must agree on
+every observable (pop order, batch grouping, error contract).  The
+hypothesis differential test at the bottom drives random push/pop
+programs through both side by side.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.array_state import ArrayEventHeap
 from repro.core.events import Event, EventKind, EventQueue
+
+QUEUE_IMPLS = {"object": EventQueue, "array": ArrayEventHeap}
+
+
+@pytest.fixture(params=sorted(QUEUE_IMPLS))
+def make_queue(request):
+    return QUEUE_IMPLS[request.param]
 
 
 def ev(t: float, payload=None) -> Event:
@@ -21,8 +39,8 @@ class TestEvent:
 
 
 class TestEventQueue:
-    def test_pop_returns_earliest(self):
-        q = EventQueue()
+    def test_pop_returns_earliest(self, make_queue):
+        q = make_queue()
         q.push(ev(5.0, "b"))
         q.push(ev(1.0, "a"))
         q.push(ev(3.0, "c"))
@@ -30,34 +48,34 @@ class TestEventQueue:
         assert q.pop().payload == "c"
         assert q.pop().payload == "b"
 
-    def test_fifo_tie_break(self):
-        q = EventQueue()
+    def test_fifo_tie_break(self, make_queue):
+        q = make_queue()
         for name in ("first", "second", "third"):
             q.push(ev(2.0, name))
         assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
 
-    def test_pop_empty_raises(self):
+    def test_pop_empty_raises(self, make_queue):
         with pytest.raises(IndexError):
-            EventQueue().pop()
+            make_queue().pop()
 
-    def test_peek_does_not_remove(self):
-        q = EventQueue()
+    def test_peek_does_not_remove(self, make_queue):
+        q = make_queue()
         q.push(ev(1.0, "x"))
         assert q.peek().payload == "x"
         assert len(q) == 1
 
-    def test_peek_empty_raises(self):
+    def test_peek_empty_raises(self, make_queue):
         with pytest.raises(IndexError):
-            EventQueue().peek()
+            make_queue().peek()
 
-    def test_len_and_bool(self):
-        q = EventQueue()
+    def test_len_and_bool(self, make_queue):
+        q = make_queue()
         assert not q and len(q) == 0
         q.push(ev(0.0))
         assert q and len(q) == 1
 
-    def test_pop_simultaneous_groups_equal_times(self):
-        q = EventQueue()
+    def test_pop_simultaneous_groups_equal_times(self, make_queue):
+        q = make_queue()
         q.push(ev(1.0, "a"))
         q.push(ev(1.0, "b"))
         q.push(ev(2.0, "c"))
@@ -65,18 +83,18 @@ class TestEventQueue:
         assert [e.payload for e in batch] == ["a", "b"]
         assert q.pop().payload == "c"
 
-    def test_pop_simultaneous_single(self):
-        q = EventQueue()
+    def test_pop_simultaneous_single(self, make_queue):
+        q = make_queue()
         q.push(ev(1.0, "only"))
         assert [e.payload for e in q.pop_simultaneous()] == ["only"]
         assert not q
 
-    def test_pop_simultaneous_empty_raises(self):
+    def test_pop_simultaneous_empty_raises(self, make_queue):
         with pytest.raises(IndexError):
-            EventQueue().pop_simultaneous()
+            make_queue().pop_simultaneous()
 
-    def test_interleaved_push_pop(self):
-        q = EventQueue()
+    def test_interleaved_push_pop(self, make_queue):
+        q = make_queue()
         q.push(ev(10.0, "late"))
         assert q.pop().payload == "late"
         q.push(ev(5.0, "early"))
@@ -104,8 +122,8 @@ class TestArrivalRankOrdering:
     arrival event in the same batch position as the merged path's
     up-front KERNEL_READY events."""
 
-    def test_arrival_pops_before_completion_at_same_time(self):
-        q = EventQueue()
+    def test_arrival_pops_before_completion_at_same_time(self, make_queue):
+        q = make_queue()
         q.push(Event(5.0, EventKind.KERNEL_COMPLETE, payload="done"))
         q.push(Event(5.0, EventKind.APP_ARRIVAL, payload="app"))
         q.push(Event(5.0, EventKind.KERNEL_READY, payload="ready"))
@@ -116,22 +134,22 @@ class TestArrivalRankOrdering:
             EventKind.KERNEL_COMPLETE,
         ]
 
-    def test_fifo_within_a_rank(self):
-        q = EventQueue()
+    def test_fifo_within_a_rank(self, make_queue):
+        q = make_queue()
         q.push(Event(1.0, EventKind.KERNEL_READY, payload=1))
         q.push(Event(1.0, EventKind.KERNEL_READY, payload=2))
         q.push(Event(1.0, EventKind.TRANSFER_COMPLETE, payload=3))
         q.push(Event(1.0, EventKind.KERNEL_COMPLETE, payload=4))
         assert [q.pop().payload for _ in range(4)] == [1, 2, 3, 4]
 
-    def test_time_still_dominates(self):
-        q = EventQueue()
+    def test_time_still_dominates(self, make_queue):
+        q = make_queue()
         q.push(Event(1.0, EventKind.KERNEL_COMPLETE))
         q.push(Event(2.0, EventKind.APP_ARRIVAL))
         assert q.pop().kind is EventKind.KERNEL_COMPLETE
 
-    def test_pop_simultaneous_spans_ranks(self):
-        q = EventQueue()
+    def test_pop_simultaneous_spans_ranks(self, make_queue):
+        q = make_queue()
         q.push(Event(3.0, EventKind.KERNEL_COMPLETE))
         q.push(Event(3.0, EventKind.APP_ARRIVAL))
         batch = q.pop_simultaneous()
@@ -153,25 +171,27 @@ class TestAllKindsEqualTimestampOrdering:
 
     @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
     @pytest.mark.parametrize("progress", PROGRESS_KINDS)
-    def test_arrival_beats_progress_pairwise(self, arrival, progress):
+    def test_arrival_beats_progress_pairwise(self, make_queue, arrival, progress):
         # progress pushed first: insertion order alone would invert this
-        q = EventQueue()
+        q = make_queue()
         q.push(Event(1.0, progress, payload="p"))
         q.push(Event(1.0, arrival, payload="a"))
         assert [q.pop().kind for _ in range(2)] == [arrival, progress]
 
     @pytest.mark.parametrize("first", PROGRESS_KINDS)
     @pytest.mark.parametrize("second", PROGRESS_KINDS)
-    def test_progress_kinds_are_fifo_among_themselves(self, first, second):
-        q = EventQueue()
+    def test_progress_kinds_are_fifo_among_themselves(
+        self, make_queue, first, second
+    ):
+        q = make_queue()
         q.push(Event(1.0, first, payload=1))
         q.push(Event(1.0, second, payload=2))
         assert [q.pop().payload for _ in range(2)] == [1, 2]
 
-    def test_full_shuffled_batch_orders_by_class_then_fifo(self):
+    def test_full_shuffled_batch_orders_by_class_then_fifo(self, make_queue):
         # interleave the classes; expect all arrivals (in push order),
         # then all progress events (in push order)
-        q = EventQueue()
+        q = make_queue()
         pushes = [
             (EventKind.FAULT, "f1"),
             (EventKind.KERNEL_READY, "r1"),
@@ -192,8 +212,70 @@ class TestAllKindsEqualTimestampOrdering:
             "f1", "p1", "t1", "f2", "c1", "t2",  # progress class, FIFO
         ]
 
-    def test_time_dominates_rank_for_new_kinds(self):
-        q = EventQueue()
+    def test_time_dominates_rank_for_new_kinds(self, make_queue):
+        q = make_queue()
         q.push(Event(2.0, EventKind.KERNEL_READY))
         q.push(Event(1.0, EventKind.FAULT))
         assert q.pop().kind is EventKind.FAULT
+
+
+# ----------------------------------------------------------------------
+# differential property test: ArrayEventHeap ≡ EventQueue
+# ----------------------------------------------------------------------
+_push_op = st.tuples(
+    st.just("push"),
+    # a handful of timestamps so same-time collisions are common
+    st.sampled_from([0.0, 1.0, 1.5, 2.0, 3.0]),
+    st.sampled_from(list(EventKind)),
+)
+_ops = st.lists(
+    st.one_of(
+        _push_op,
+        st.just(("pop",)),
+        st.just(("pop_simultaneous",)),
+        st.just(("peek",)),
+    ),
+    max_size=60,
+)
+
+
+class TestArrayHeapMatchesEventQueue:
+    """Drive random push/pop/peek programs through both implementations
+    and require identical observable behaviour at every step — the
+    executable form of the drop-in-replacement contract the array
+    backend's run loop relies on."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_ops)
+    def test_same_observable_sequence(self, ops):
+        ref, heap = EventQueue(), ArrayEventHeap()
+        tag = 0
+        for op in ops:
+            if op[0] == "push":
+                _, time, kind = op
+                tag += 1
+                ref.push(Event(time, kind, payload=tag))
+                heap.push(Event(time, kind, payload=tag))
+            elif op[0] == "pop":
+                if ref:
+                    assert heap.pop() == ref.pop()
+                else:
+                    with pytest.raises(IndexError):
+                        heap.pop()
+            elif op[0] == "pop_simultaneous":
+                if ref:
+                    assert heap.pop_simultaneous() == ref.pop_simultaneous()
+                else:
+                    with pytest.raises(IndexError):
+                        heap.pop_simultaneous()
+            else:  # peek
+                if ref:
+                    assert heap.peek() == ref.peek()
+                else:
+                    with pytest.raises(IndexError):
+                        heap.peek()
+            assert len(heap) == len(ref)
+        # drain: the remaining orders must agree exactly
+        while ref:
+            assert heap.pop() == ref.pop()
+        assert not heap

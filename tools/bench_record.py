@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Record an engine-backend benchmark entry in ``BENCH_engine.json``.
+
+``BENCH_engine.json`` is the committed benchmark trajectory of the
+array-backend hot path: every entry pins the git revision it was
+measured at, the scenario, the wall-clock of both backends and the
+speedup.  The trajectory documents how the hot path evolved; CI's smoke
+benchmark (``benchmarks/test_bench_simulator_scale.py``) reads the last
+entry for its scenario and fails when the measured speedup regresses
+more than 20 % below it.
+
+Usage::
+
+    python tools/bench_record.py                  # smoke scenario (1.2k)
+    python tools/bench_record.py --kernels 100000 # the acceptance entry
+    python tools/bench_record.py --dry-run        # measure, don't append
+
+Wall-clock numbers are machine-dependent; the *speedup* column is the
+portable quantity — both backends run the identical simulation on the
+identical machine, so their ratio tracks algorithmic regressions, not
+hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+_ROOT = Path(__file__).parent.parent
+_SRC = str(_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+BENCH_FILE = _ROOT / "BENCH_engine.json"
+
+#: the streaming saturation scenario all trajectory entries share:
+#: Poisson application stream on the 12-processor scale system, APT,
+#: mean interarrival far below the service capacity so the ready set
+#: grows into the regime the array backend is built for.
+SCENARIO_DEFAULTS = {"mean_interarrival_ms": 300.0, "seed": 42, "policy": "apt"}
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def run_backend(backend: str, n_kernels: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock (ms) of the scenario on ``backend``."""
+    from repro.core.simulator import Simulator
+    from repro.data.paper_tables import paper_lookup_table
+    from repro.experiments.workloads import scale_system, streaming_scale_stream
+    from repro.policies.registry import get_policy
+
+    system = scale_system()
+    lookup = paper_lookup_table()
+    best = float("inf")
+    for _ in range(repeats):
+        stream = streaming_scale_stream(
+            n_kernels=n_kernels,
+            seed=SCENARIO_DEFAULTS["seed"],
+            mean_interarrival_ms=SCENARIO_DEFAULTS["mean_interarrival_ms"],
+        )
+        sim = Simulator(system, lookup, backend=backend)
+        t0 = time.perf_counter()
+        sim.run_stream(
+            stream,
+            get_policy(SCENARIO_DEFAULTS["policy"]),
+            retain_schedule=False,
+        )
+        best = min(best, (time.perf_counter() - t0) * 1000.0)
+    return best
+
+
+def load_entries() -> list[dict]:
+    if not BENCH_FILE.exists():
+        return []
+    return json.loads(BENCH_FILE.read_text(encoding="utf-8"))["entries"]
+
+
+def last_entry_for(scenario: str) -> dict | None:
+    """The most recent committed entry for ``scenario`` (or ``None``)."""
+    matching = [e for e in load_entries() if e["scenario"] == scenario]
+    return matching[-1] if matching else None
+
+
+def append_entry(entry: dict) -> None:
+    entries = load_entries()
+    entries.append(entry)
+    BENCH_FILE.write_text(
+        json.dumps({"format": 1, "entries": entries}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def scenario_name(n_kernels: int) -> str:
+    return f"streaming_scale/apt/ia300/n{n_kernels}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernels", type=int, default=1_200)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and print, don't append"
+    )
+    args = parser.parse_args(argv)
+
+    name = scenario_name(args.kernels)
+    wall_array = run_backend("array", args.kernels, args.repeats)
+    wall_object = run_backend("object", args.kernels, args.repeats)
+    entry = {
+        "git_rev": git_rev(),
+        "date": date.today().isoformat(),
+        "scenario": name,
+        "kernels": args.kernels,
+        "backend_wall_ms": round(wall_array, 1),
+        "baseline_wall_ms": round(wall_object, 1),
+        "speedup_vs_object": round(wall_object / wall_array, 2),
+    }
+    print(json.dumps(entry, indent=2))
+    if not args.dry_run:
+        append_entry(entry)
+        print(f"appended to {BENCH_FILE.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
