@@ -20,7 +20,10 @@ Subcommands
   arrival rate λ from light load to saturation for each policy,
   recording the curves under ``results/load_sweep_*.txt``;
 * ``calibrate`` — measure the real kernels on this machine and write a
-  fresh lookup table JSON.
+  fresh lookup table JSON;
+* ``check``     — the determinism & backend-parity static checks
+  (rule catalog in ``docs/checks.md``; same engine as
+  ``tools/run_checks.py``).
 
 Every sweep-shaped subcommand (``compare``, ``sweep``, ``table``,
 ``figure``, ``extension``) accepts the engine flags:
@@ -228,6 +231,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="largest matrix side to measure (keeps runs quick)",
     )
     cal.add_argument("--repeats", type=int, default=3)
+
+    from repro.checks import runner as checks_runner
+
+    chk = sub.add_parser(
+        "check",
+        help="determinism & backend-parity static checks (docs/checks.md)",
+    )
+    checks_runner.add_arguments(chk)
     return parser
 
 
@@ -439,6 +450,12 @@ def _cmd_load_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.checks import runner as checks_runner
+
+    return checks_runner.run(args)
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.kernels.calibration import Calibrator
 
@@ -470,6 +487,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "load-sweep": _cmd_load_sweep,
     "calibrate": _cmd_calibrate,
+    "check": _cmd_check,
 }
 
 

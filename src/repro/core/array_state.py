@@ -281,7 +281,7 @@ class _LazyViews(dict):
 
     def _flush(self) -> None:
         e = self._engine
-        for name in tuple(e._view_dirty):
+        for name in sorted(e._view_dirty):
             e._rebuild_view(name)
         now = e.now
         for name, view in dict.items(self):

@@ -32,7 +32,7 @@ form a scenario, a sweep-job cache key or a CLI flag carries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -52,6 +52,8 @@ from repro.core.topology import ContentionManager, Topology, validate_rate
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import SystemConfig
     from repro.graphs.dfg import DFG
+    from repro.graphs.sources import ArrivalSource
+    from repro.policies.base import SchedulingContext
 
 
 # ----------------------------------------------------------------------
@@ -120,7 +122,7 @@ class StreamAdmission(RuntimeDynamics):
     name = "admission"
     handles = (EventKind.APP_ARRIVAL,)
 
-    def __init__(self, source) -> None:
+    def __init__(self, source: "ArrivalSource") -> None:
         self.source = source
 
     def on_run_start(self) -> None:
@@ -239,7 +241,7 @@ class ContentionDynamics(RuntimeDynamics):
         # kid -> source processors whose flows have joined the manager
         self._joined: dict[int, set[str]] = {}
 
-    def _push_estimates(self, estimates) -> None:
+    def _push_estimates(self, estimates: Sequence[Any]) -> None:
         push = self.engine.events.push
         for est in estimates:
             push(
@@ -250,7 +252,9 @@ class ContentionDynamics(RuntimeDynamics):
                 )
             )
 
-    def begin(self, kid: int, name: str, spec, exec_time: float, token: int) -> None:
+    def begin(
+        self, kid: int, name: str, spec: Any, exec_time: float, token: int
+    ) -> None:
         """Open one flow per distinct source processor for ``kid``.
 
         Flow keys are ``(kid, src, token)``: the engine's globally-unique
@@ -383,7 +387,13 @@ class RetirementDynamics(RuntimeDynamics):
         self.n_retired = 0
         self._open_succs: dict[int, int] = {}
 
-    def on_admit(self, app_index, arrival_ms, app_dfg, id_map) -> None:
+    def on_admit(
+        self,
+        app_index: int,
+        arrival_ms: float,
+        app_dfg: "DFG",
+        id_map: Mapping[int, int],
+    ) -> None:
         succs_of = self.engine.succs_of
         for nid in id_map.values():
             self._open_succs[nid] = len(succs_of[nid])
@@ -465,13 +475,25 @@ class MetricsDynamics(RuntimeDynamics):
         self.with_service = service
 
     def on_run_start(self) -> None:
-        self.schedule: Schedule | None = Schedule() if self.retain_schedule else None
-        self._acc = None if self.retain_schedule else MetricsAccumulator(self.system)
+        self._sink: Callable[[ScheduleEntry], None]
+        if self.retain_schedule:
+            self.schedule: Schedule | None = Schedule()
+            self._acc: MetricsAccumulator | None = None
+            self._sink = self.schedule.add
+        else:
+            self.schedule = None
+            self._acc = MetricsAccumulator(self.system)
+            self._sink = self._acc.observe
         self._service = ServiceAccumulator() if self.with_service else None
-        self._sink = self.schedule.add if self.schedule is not None else self._acc.observe
         self.n_alt = 0
 
-    def on_admit(self, app_index, arrival_ms, app_dfg, id_map) -> None:
+    def on_admit(
+        self,
+        app_index: int,
+        arrival_ms: float,
+        app_dfg: "DFG",
+        id_map: Mapping[int, int],
+    ) -> None:
         if self._service is not None:
             self._service.register_app(
                 app_index,
@@ -492,6 +514,7 @@ class MetricsDynamics(RuntimeDynamics):
             return compute_metrics(
                 self.schedule, self.system, n_alternative_assignments=self.n_alt
             )
+        assert self._acc is not None
         return self._acc.finalize(n_alternative_assignments=self.n_alt)
 
     def service(self) -> ServiceMetrics:
@@ -666,7 +689,7 @@ class PreemptionDynamics(RuntimeDynamics):
         self.n_preemptions = 0
         self.penalty_ms_total = 0.0
 
-    def observe(self, ctx) -> None:
+    def observe(self, ctx: "SchedulingContext") -> None:
         e = self.engine
         requests = list(e.driver.preempt(ctx))
         if not requests:

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Deque, Iterator, Mapping
 
 from repro.core.events import Event, EventKind, EventQueue
 from repro.core.schedule import ScheduleEntry
@@ -141,13 +141,19 @@ class _ResidentGraph:
 
     __slots__ = ("name", "_specs", "_preds", "_succs")
 
-    def __init__(self, name, specs, preds, succs) -> None:
+    def __init__(
+        self,
+        name: str,
+        specs: dict[int, Any],
+        preds: dict[int, list[int]],
+        succs: dict[int, list[int]],
+    ) -> None:
         self.name = name
         self._specs = specs
         self._preds = preds
         self._succs = succs
 
-    def spec(self, kid: int):
+    def spec(self, kid: int) -> Any:
         return self._specs[kid]
 
     def predecessors(self, kid: int) -> list[int]:
@@ -203,7 +209,13 @@ class RuntimeDynamics:
     def on_event(self, ev: Event) -> None:
         """Handle one event of a kind listed in :attr:`handles`."""
 
-    def on_admit(self, app_index: int, arrival_ms: float, app_dfg, id_map) -> None:
+    def on_admit(
+        self,
+        app_index: int,
+        arrival_ms: float,
+        app_dfg: "DFG",
+        id_map: Mapping[int, int],
+    ) -> None:
         """An application's kernels were registered (streaming admission)."""
 
     def on_kernel_ready(self, kid: int) -> None:
@@ -275,7 +287,7 @@ class EngineCore:
 
         # kernel tables (content owned by the admission layer)
         self.graph: "DFG | _ResidentGraph | None" = None
-        self.specs: dict[int, object] = {}
+        self.specs: dict[int, Any] = {}
         self.preds_of: dict[int, list[int]] = {}
         self.succs_of: dict[int, list[int]] = {}
         self.arrival_of: dict[int, float] = {}
@@ -307,8 +319,10 @@ class EngineCore:
 
         # layer wiring
         self._layers: list[RuntimeDynamics] = []
-        self._handlers: dict[EventKind, object] = {}
-        self._contention = None  # claimed by ContentionDynamics.bind
+        self._handlers: dict[EventKind, Callable[[Event], None]] = {}
+        # claimed by ContentionDynamics.bind (Any: engine must not
+        # depend on the dynamics module)
+        self._contention: Any = None
         self._preempt_info: PreemptionInfo | None = None
         self._defer_entries = False
         self._pending_entry: dict[str, ScheduleEntry] = {}
@@ -317,13 +331,13 @@ class EngineCore:
         # even after an aborted kernel migrates to another processor
         self._start_seq = 0
         self._live_token: dict[str, int | None] = {p.name: None for p in system}
-        self._ready_hooks: list = []
-        self._start_hooks: list = []
-        self._finish_hooks: list = []
-        self._abort_hooks: list = []
-        self._entry_hooks: list = []
-        self._admit_hooks: list = []
-        self._observe_hooks: list = []
+        self._ready_hooks: list[Callable[[int], None]] = []
+        self._start_hooks: list[Callable[[int, str], None]] = []
+        self._finish_hooks: list[Callable[[int, str], None]] = []
+        self._abort_hooks: list[Callable[[int, str], None]] = []
+        self._entry_hooks: list[Callable[[ScheduleEntry], None]] = []
+        self._admit_hooks: list[Callable[..., None]] = []
+        self._observe_hooks: list[Callable[[SchedulingContext], None]] = []
 
         for name in self.procs:
             self.refresh_view(name)
@@ -713,7 +727,7 @@ def resolve_backend(backend: "str | None") -> str:
     return backend
 
 
-def make_engine(backend: "str | None", *args, **kwargs) -> EngineCore:
+def make_engine(backend: "str | None", *args: Any, **kwargs: Any) -> EngineCore:
     """Construct an engine core for the resolved ``backend``."""
     if resolve_backend(backend) == "array":
         from repro.core.array_state import ArrayEngineCore

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.cost import CostModel
 from repro.core.lookup import LookupTable
 from repro.core.system import Processor, ProcessorType, SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import EngineCore
     from repro.graphs.dfg import DFG
 
 
@@ -97,7 +98,7 @@ class PreemptionInfo:
 
     __slots__ = ("penalty_ms", "_engine")
 
-    def __init__(self, penalty_ms: float, engine=None) -> None:
+    def __init__(self, penalty_ms: float, engine: "EngineCore | None" = None) -> None:
         self.penalty_ms = float(penalty_ms)
         self._engine = engine
 
@@ -230,12 +231,12 @@ class SchedulingContext:
             self.views[p.name] for p in self.system if self.views[p.name].available
         ]
 
-    def _spec(self, kernel_id: int):
+    def _spec(self, kernel_id: int) -> Any:
         if self._specs is not None:
             return self._specs[kernel_id]
         return self.dfg.spec(kernel_id)
 
-    def spec(self, kernel_id: int):
+    def spec(self, kernel_id: int) -> Any:
         """The kernel's :class:`~repro.graphs.dfg.KernelSpec`.
 
         Policies should use this (not ``ctx.dfg.spec``): in the
@@ -304,11 +305,11 @@ class SchedulingContext:
     # route-aware queries (topology systems; see repro.core.topology)
     # ------------------------------------------------------------------
     @property
-    def topology(self):
+    def topology(self) -> Any:
         """The system's interconnect graph, or ``None`` on flat systems."""
         return self.system.topology
 
-    def route(self, src: str, dst: str):
+    def route(self, src: str, dst: str) -> Any:
         """The interconnect route between two processors.
 
         ``None`` on flat (non-topology) systems — there every pair is a
@@ -449,7 +450,7 @@ class DynamicPolicy(Policy):
         time; it must therefore be idempotent on an unchanged context.
         """
 
-    def select_batch(self, batch) -> list[Assignment]:
+    def select_batch(self, batch: Any) -> list[Assignment]:
         """Whole-ready-set variant of :meth:`select` for the array backend.
 
         ``batch`` is a :class:`~repro.core.array_state.BatchContext`

@@ -71,7 +71,7 @@ class CPOP(StaticPolicy):
             system.processors,
             key=lambda p: sum(
                 cost.exec_time(dfg.spec(k).kernel, dfg.spec(k).data_size, p.ptype)
-                for k in cp
+                for k in sorted(cp)
             ),
         ).name
 

@@ -1,0 +1,38 @@
+"""Seeded violations: every way the batch/object twin can fall apart."""
+
+from .base import DynamicPolicy, Policy
+
+
+class BatchOnly(Policy):  # line 6: backend-parity (select_batch, no select)
+    def select_batch(self, batch) -> list:
+        return []
+
+
+class LiarPolicy(DynamicPolicy):  # line 11: backend-parity (batchable lie)
+    batchable = True
+
+    def select(self, context) -> object:
+        return None
+
+
+class GoodBatch(DynamicPolicy):  # clean: flag + both twins
+    batchable = True
+
+    def select(self, context) -> object:
+        return None
+
+    def select_batch(self, batch) -> list:
+        return []
+
+
+class DriftedChild(GoodBatch):  # line 28: backend-parity (stale batch twin)
+    def select(self, context) -> object:
+        return None
+
+
+class DeadBatch(DynamicPolicy):  # line 33: backend-parity (never enabled)
+    def select(self, context) -> object:
+        return None
+
+    def select_batch(self, batch) -> list:
+        return []

@@ -1,0 +1,11 @@
+"""A miniature policy protocol (select / select_batch / batchable)."""
+
+
+class Policy:
+    name = "base"
+    batchable = False
+
+
+class DynamicPolicy(Policy):
+    def select(self, context) -> object:
+        raise NotImplementedError

@@ -1,0 +1,25 @@
+"""A miniature sweep module for the cache-version-guard fixture."""
+
+SWEEP_FORMAT_VERSION = 3
+
+
+class SweepJob:
+    def payload(self) -> dict:
+        return {
+            "version": SWEEP_FORMAT_VERSION,
+            "policy": "apt",
+            "alpha": 4.0,
+        }
+
+
+class JobResult:
+    def to_dict(self) -> dict:
+        return {"version": SWEEP_FORMAT_VERSION, "makespan": 1.0}
+
+
+class SimSettings:
+    def cost_model_dict(self) -> dict:
+        return {"element_size": 8}
+
+    def noise_dict(self) -> dict:
+        return {"exec_noise_sigma": 0.0}

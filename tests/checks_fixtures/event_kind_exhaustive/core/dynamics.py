@@ -1,0 +1,12 @@
+"""A dynamics layer handling FAULT, plus a typo'd member reference."""
+
+from .events import EventKind
+
+
+class FaultLayer:
+    name = "fault"
+    handles = (EventKind.FAULT,)
+
+
+def misroute() -> object:
+    return EventKind.FALT  # line 12: event-kind-exhaustive (no such member)

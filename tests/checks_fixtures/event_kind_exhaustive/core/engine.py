@@ -1,0 +1,8 @@
+"""An engine core — its EventKind references count as handled."""
+
+from .events import EventKind
+
+
+class MiniEngineCore:
+    def run_loop(self) -> object:
+        return EventKind.KERNEL_READY  # handled: engine-core hot path

@@ -1,0 +1,9 @@
+"""Seeded violation: an EventKind member nothing handles."""
+
+import enum
+
+
+class EventKind(enum.Enum):
+    KERNEL_READY = "kernel_ready"
+    FAULT = "fault"
+    ORPHANED = "orphaned"  # line 9: event-kind-exhaustive (no handler)

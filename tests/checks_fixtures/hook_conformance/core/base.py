@@ -1,0 +1,16 @@
+"""A miniature RuntimeDynamics protocol (the known hook set)."""
+
+
+class RuntimeDynamics:
+    name = "base"
+    handles = ()
+    aborts = False
+
+    def on_kernel_ready(self, event) -> None:
+        pass
+
+    def on_kernel_finish(self, event) -> None:
+        pass
+
+    def observe(self, now: float) -> None:
+        pass

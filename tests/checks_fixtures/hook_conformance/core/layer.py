@@ -1,0 +1,23 @@
+"""Seeded violations: typo'd and unknown hook names on a dynamics layer."""
+
+from .base import RuntimeDynamics
+
+
+class RetireLayer(RuntimeDynamics):
+    name = "retire"
+
+    def on_kernel_finsh(self, event) -> None:  # line 9: hook-conformance (typo)
+        pass
+
+    def on_custom_hook(self, event) -> None:  # line 12: hook-conformance
+        pass
+
+    def metrics(self) -> dict:  # allowed: plain new public API
+        return {}
+
+    def _helper(self) -> None:  # allowed: private helper
+        pass
+
+
+class BadAttrs(RuntimeDynamics):
+    handle = ()  # line 23: hook-conformance (typo of the handles attribute)

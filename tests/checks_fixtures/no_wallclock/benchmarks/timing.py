@@ -1,0 +1,7 @@
+"""Wall clocks are fine outside core/policies/graphs (measurement code)."""
+
+import time
+
+
+def measure() -> float:
+    return time.perf_counter()  # allowed: benchmarks/ is out of scope

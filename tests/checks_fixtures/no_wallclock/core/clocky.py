@@ -1,0 +1,21 @@
+"""Seeded violation: wall-clock reads inside the deterministic zone."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp() -> float:
+    return time.time()  # line 9: no-wallclock
+
+
+def stamp_pc() -> float:
+    return pc()  # line 13: no-wallclock (aliased import)
+
+
+def stamp_dt() -> str:
+    return datetime.now().isoformat()  # line 17: no-wallclock
+
+
+def suppressed_stamp() -> float:
+    return time.monotonic()  # checks: ignore[no-wallclock] fixture exemption

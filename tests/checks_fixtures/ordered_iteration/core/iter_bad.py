@@ -1,0 +1,32 @@
+"""Seeded violation: unordered set iteration on the scheduling path."""
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.dirty: set[str] = set()
+        self.order: list[str] = []
+
+    def flush_bad(self) -> list[str]:
+        return [name for name in self.dirty]  # line 10: ordered-iteration
+
+    def flush_ok(self) -> list[str]:
+        return [name for name in sorted(self.dirty)]  # allowed: sorted
+
+
+def union_bad(a: set, b: set) -> list:
+    out = []
+    for item in a | b:  # line 18: ordered-iteration (set union)
+        out.append(item)
+    return out
+
+
+def local_bad() -> list[str]:
+    pending = {"x", "y"}
+    out = []
+    for item in list(pending):  # line 26: ordered-iteration (wrapper)
+        out.append(item)
+    return out
+
+
+def dict_ok(table: dict) -> list:
+    return [k for k in table]  # allowed: dicts are insertion-ordered

@@ -1,0 +1,23 @@
+"""Seeded violation: global-state RNG calls instead of seeded generators."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    return random.random()  # line 9: seeded-rng
+
+
+def draw_np() -> float:
+    return float(np.random.rand())  # line 13: seeded-rng
+
+
+def reseed() -> None:
+    np.random.seed(0)  # line 17: seeded-rng (global reseed)
+
+
+def draw_ok(seed: int) -> float:
+    rng = np.random.default_rng(seed)  # allowed constructor
+    local = random.Random(seed)  # allowed constructor
+    return float(rng.random()) + local.random()

@@ -1,25 +1,16 @@
 #!/usr/bin/env python
 """Docs-consistency check: smoke-execute fenced ``python`` blocks.
 
-Extracts every fenced code block whose info string is exactly
-``python`` from README.md and docs/*.md and executes it, so
-documentation examples cannot rot silently (a renamed function or
-changed signature fails CI instead of lingering in prose).
+Thin shim kept for CLI compatibility — the gate itself lives in
+:mod:`repro.checks.gates` and runs as ``tools/run_checks.py --gates
+docs`` (rule id ``docs-example``).  Conventions (unchanged):
 
-Conventions
------------
-* Blocks in one file share a namespace and run top to bottom — a later
-  block may use names an earlier block defined (the architecture
-  guide's worked example does this).
-* A block that is intentionally not runnable must be fenced with a
-  different info string (e.g. ``python noexec`` or ``text``); plain
-  ``bash``/``text`` fences are never executed.
-* Blocks run with the repository's ``src/`` on ``sys.path`` and the
-  working directory set to a throwaway temp dir, so examples that write
-  files (cache dirs, results) cannot dirty the checkout.
-* The scripts listed in :data:`EXAMPLE_SCRIPTS` are additionally
-  smoke-executed (with ``REPRO_EXAMPLE_FAST=1``), so the runnable
-  examples they demonstrate cannot rot either.
+* Blocks in one file share a namespace and run top to bottom.
+* A block that is intentionally not runnable must use a different info
+  string (``python noexec``, ``text``, ``bash`` — never executed).
+* Blocks run with ``src/`` on ``sys.path`` and a throwaway temp cwd.
+* The example scripts in ``repro.checks.gates.EXAMPLE_SCRIPTS`` are
+  additionally smoke-executed with ``REPRO_EXAMPLE_FAST=1``.
 
 Usage::
 
@@ -29,95 +20,22 @@ Usage::
 
 from __future__ import annotations
 
-import re
 import sys
-import tempfile
-import traceback
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-FENCE = re.compile(r"^```(?P<info>[^\n`]*)\n(?P<body>.*?)^```\s*$", re.M | re.S)
+sys.path.insert(0, str(ROOT / "src"))
 
-#: Example scripts covered by the docs check (repo-relative).  Each must
-#: honour REPRO_EXAMPLE_FAST=1 with a seconds-scale configuration.
-EXAMPLE_SCRIPTS = ["examples/open_system_saturation.py"]
-
-
-def python_blocks(text: str) -> list[tuple[int, str]]:
-    """(start line, source) of every block fenced exactly as ``python``."""
-    blocks = []
-    for match in FENCE.finditer(text):
-        if match.group("info").strip() == "python":
-            line = text[: match.start()].count("\n") + 2  # first code line
-            blocks.append((line, match.group("body")))
-    return blocks
-
-
-def check_file(path: Path) -> list[str]:
-    """Run the file's blocks in one shared namespace; return failures."""
-    failures: list[str] = []
-    namespace: dict[str, object] = {"__name__": f"docs_{path.stem}"}
-    for line, source in python_blocks(path.read_text(encoding="utf-8")):
-        label = f"{path.relative_to(ROOT)}:{line}"
-        try:
-            code = compile(source, str(label), "exec")
-            exec(code, namespace)  # noqa: S102 - the point of the check
-        except Exception:
-            failures.append(f"{label}\n{traceback.format_exc()}")
-            print(f"  FAIL {label}")
-        else:
-            print(f"  ok   {label}")
-    return failures
-
-
-def check_example(path: Path) -> list[str]:
-    """Smoke-execute one example script (stdout suppressed)."""
-    import contextlib
-    import io
-    import os
-
-    label = str(path.relative_to(ROOT))
-    os.environ["REPRO_EXAMPLE_FAST"] = "1"
-    try:
-        code = compile(path.read_text(encoding="utf-8"), label, "exec")
-        with contextlib.redirect_stdout(io.StringIO()):
-            exec(code, {"__name__": "__main__", "__file__": str(path)})  # noqa: S102
-    except Exception:
-        return [f"{label}\n{traceback.format_exc()}"]
-    return []
+from repro.checks.gates import check_docs  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    if argv:
-        files = [Path(a).resolve() for a in argv]
-        examples: list[Path] = []
-    else:
-        files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
-        examples = [ROOT / rel for rel in EXAMPLE_SCRIPTS]
-    sys.path.insert(0, str(ROOT / "src"))
-    failures: list[str] = []
-    with tempfile.TemporaryDirectory() as tmp:
-        import os
-
-        cwd = os.getcwd()
-        os.chdir(tmp)
-        try:
-            for path in files:
-                print(f"{path.relative_to(ROOT)}:")
-                failures += check_file(path)
-            if examples:
-                print("examples:")
-                for path in examples:
-                    result = check_example(path)
-                    failures += result
-                    print(f"  {'FAIL' if result else 'ok  '} "
-                          f"{path.relative_to(ROOT)}")
-        finally:
-            os.chdir(cwd)
-    if failures:
-        print(f"\n{len(failures)} documentation block(s) failed:\n")
-        for failure in failures:
-            print(failure)
+    files = [Path(a).resolve() for a in argv] if argv else None
+    findings = check_docs(ROOT, files=files)
+    if findings:
+        print(f"\n{len(findings)} documentation block(s) failed:\n")
+        for finding in findings:
+            print(finding.render())
         return 1
     print("\nall documentation examples execute cleanly")
     return 0

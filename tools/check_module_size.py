@@ -1,10 +1,9 @@
 #!/usr/bin/env python3
 """Fail when a source module outgrows its line budget.
 
-Guards the engine/dynamics decomposition: ``repro/core/simulator.py``
-was split from a 1,300-line monolith into a facade over
-``repro/core/engine.py`` + ``repro/core/dynamics.py``, and CI enforces
-that it stays a facade.  Usage::
+Thin shim kept for CLI compatibility — the gate itself lives in
+:mod:`repro.checks.gates` and runs as part of ``tools/run_checks.py``
+(rule id ``module-size``).  Usage::
 
     python tools/check_module_size.py src/repro/core/simulator.py 700
 
@@ -17,24 +16,32 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.checks.gates import check_module_sizes  # noqa: E402
+
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 2 or len(argv) % 2 != 0:
+    if argv and (len(argv) < 2 or len(argv) % 2 != 0):
         print(
-            "usage: check_module_size.py <path> <max_lines> [<path> <max_lines> ...]",
+            "usage: check_module_size.py [<path> <max_lines> ...]",
             file=sys.stderr,
         )
         return 2
-    failed = False
-    for path_arg, budget_arg in zip(argv[0::2], argv[1::2]):
-        path = Path(path_arg)
-        budget = int(budget_arg)
-        lines = len(path.read_text(encoding="utf-8").splitlines())
+    budgets = (
+        {path: int(budget) for path, budget in zip(argv[0::2], argv[1::2])}
+        if argv
+        else None  # the committed SIZE_BUDGETS
+    )
+    findings = check_module_sizes(ROOT, budgets)
+    for relpath, budget in sorted((budgets or {}).items()) or []:
+        lines = len((ROOT / relpath).read_text(encoding="utf-8").splitlines())
         status = "ok" if lines <= budget else "OVER BUDGET"
-        print(f"{path}: {lines} lines (budget {budget}) — {status}")
-        if lines > budget:
-            failed = True
-    return 1 if failed else 0
+        print(f"{relpath}: {lines} lines (budget {budget}) — {status}")
+    for finding in findings:
+        print(finding.render())
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""CI / pre-commit entry point for the static-checks pass.
+
+Thin wrapper over :mod:`repro.checks.runner` (also reachable as
+``apt-sched check``); see ``docs/checks.md`` for the rule catalog.
+
+Usage::
+
+    python tools/run_checks.py                  # rules + size gate
+    python tools/run_checks.py --gates docs     # execute doc examples
+    python tools/run_checks.py --format github  # workflow annotations
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.checks.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
