@@ -27,8 +27,11 @@ from repro.checks.framework import (
 )
 
 #: the deterministic zone: modules on the simulation hot path, where a
-#: wall clock or an unseeded RNG silently breaks reproducibility.
-DETERMINISTIC_SCOPE = ("core/", "policies/", "graphs/")
+#: wall clock or an unseeded RNG silently breaks reproducibility.  The
+#: scenario service joined the zone in PR 8: its job records and
+#: progress events must be byte-stable across runs (monotonic sequence
+#: numbers, never timestamps) for the shared result store to dedup.
+DETERMINISTIC_SCOPE = ("core/", "policies/", "graphs/", "service/")
 
 
 def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
@@ -84,13 +87,14 @@ class NoWallclockRule(Rule):
     """Wall-clock reads are forbidden on the simulation hot path.
 
     Simulated time is the engine's ``now``; a real clock smuggled into
-    ``core``/``policies``/``graphs`` makes schedules machine- and
-    load-dependent.  Measurement code (``kernels/calibration``,
-    benchmarks, tools) is out of scope by construction.
+    ``core``/``policies``/``graphs``/``service`` makes schedules (and
+    service job records) machine- and load-dependent.  Measurement code
+    (``kernels/calibration``, benchmarks, tools) is out of scope by
+    construction.
     """
 
     id = "no-wallclock"
-    title = "no wall-clock reads in core/policies/graphs"
+    title = "no wall-clock reads in core/policies/graphs/service"
     scope = DETERMINISTIC_SCOPE
 
     FORBIDDEN = frozenset(
@@ -210,8 +214,9 @@ class OrderedIterationRule(Rule):
     the exact bug class the multiprocessing sweep executor and the
     cross-process determinism tests exist to catch.  Dicts are
     insertion-ordered in supported CPythons and are exempt; sets never
-    are.  Scope: ``core``/``policies``/``graphs`` (everything reachable
-    from policy selection and event dispatch lives there).
+    are.  Scope: ``core``/``policies``/``graphs``/``service``
+    (everything reachable from policy selection, event dispatch and the
+    service's shared result store lives there).
     """
 
     id = "ordered-iteration"

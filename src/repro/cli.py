@@ -19,6 +19,12 @@ Subcommands
 * ``load-sweep`` — open-system throughput–latency curves: sweep the
   arrival rate λ from light load to saturation for each policy,
   recording the curves under ``results/load_sweep_*.txt``;
+* ``serve``     — run the scenario service: the asyncio HTTP/JSON API
+  over the shared result store with admission control and per-client
+  fairness (``docs/service.md``);
+* ``submit`` / ``poll`` — thin clients for a running service: submit a
+  registered scenario or a ScenarioSpec JSON file, poll job progress,
+  fetch paginated result rows;
 * ``calibrate`` — measure the real kernels on this machine and write a
   fresh lookup table JSON;
 * ``check``     — the determinism & backend-parity static checks
@@ -220,6 +226,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results-dir",
         default="results",
         help="directory for the rendered load_sweep_<profile>.txt record",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the scenario service (HTTP/JSON API; docs/service.md)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8711, help="0 = ephemeral")
+    srv.add_argument(
+        "--executor",
+        choices=("inline", "process"),
+        default="inline",
+        help="payload executor: worker threads or a multiprocessing pool",
+    )
+    srv.add_argument(
+        "--slots", type=int, default=2, help="concurrent payload slots (fair-shared)"
+    )
+    srv.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory of the shared on-disk result store (content-hash keyed)",
+    )
+    srv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max live jobs before submissions get 429",
+    )
+
+    smt = sub.add_parser("submit", help="submit a scenario to a running service")
+    smt.add_argument("--url", default="http://127.0.0.1:8711")
+    smt_what = smt.add_mutually_exclusive_group(required=True)
+    smt_what.add_argument("--scenario", help="a registered scenario name")
+    smt_what.add_argument(
+        "--spec-file", help="path of a ScenarioSpec JSON ('-' reads stdin)"
+    )
+    smt.add_argument("--client", default=None, help="client identity for fairness")
+    smt.add_argument(
+        "--setting",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="simulation-settings override, repeatable (e.g. noise_seed=7)",
+    )
+    smt.add_argument("--wait", action="store_true", help="poll until terminal")
+
+    pol = sub.add_parser("poll", help="poll a job on a running service")
+    pol.add_argument("job_id")
+    pol.add_argument("--url", default="http://127.0.0.1:8711")
+    pol.add_argument("--wait", action="store_true", help="poll until terminal")
+    pol.add_argument(
+        "--rows", action="store_true", help="fetch and summarize the result rows"
     )
 
     cal = sub.add_parser("calibrate", help="measure kernels, write lookup JSON")
@@ -450,6 +508,118 @@ def _cmd_load_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.jobs import JobManager, make_executor
+    from repro.service.server import ServiceServer
+    from repro.service.store import SharedResultStore
+
+    async def _serve() -> None:
+        manager = JobManager(
+            store=SharedResultStore(args.store_dir),
+            executor=make_executor(args.executor, args.slots),
+            queue_limit=args.queue_limit,
+        )
+        server = ServiceServer(manager, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.address}", flush=True)
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_settings_overrides(pairs: list[str]) -> dict[str, object]:
+    import json as _json
+
+    settings: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        try:
+            settings[key] = _json.loads(raw)
+        except _json.JSONDecodeError:
+            settings[key] = raw
+    return settings
+
+
+def _print_job(job: dict) -> None:
+    line = (
+        f"{job['id']}  {job['scenario']:<22s} state={job['state']:<10s}"
+        f" done={job['done']}/{job['total']}"
+        f" simulated={job['simulated']} store_hits={job['store_hits']}"
+    )
+    print(line)
+    if job.get("error"):
+        print(job["error"], file=sys.stderr)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    try:
+        settings = _parse_settings_overrides(args.setting)
+    except ValueError as exc:
+        print(f"bad --setting: {exc}", file=sys.stderr)
+        return 2
+    spec = None
+    if args.spec_file is not None:
+        raw = (
+            sys.stdin.read()
+            if args.spec_file == "-"
+            else open(args.spec_file, "r", encoding="utf-8").read()
+        )
+        spec = _json.loads(raw)
+    client = ServiceClient(args.url)
+    status, body = client.submit(
+        scenario=args.scenario, spec=spec, client=args.client, settings=settings
+    )
+    if status != 202:
+        print(f"submit rejected ({status}): {body.get('error', body)}", file=sys.stderr)
+        return 1
+    job = body["job"]
+    _print_job(job)
+    if args.wait:
+        job = client.wait(job["id"])
+        _print_job(job)
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
+def _cmd_poll(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.wait:
+        job = client.wait(args.job_id)
+    else:
+        status, body = client.status(args.job_id)
+        if status != 200:
+            print(f"poll failed ({status}): {body.get('error', body)}", file=sys.stderr)
+            return 1
+        job = body["job"]
+    _print_job(job)
+    if args.rows:
+        rows = client.fetch_rows(args.job_id)
+        for row in rows:
+            print(
+                f"  {row['dfg_name']:<28s} {row['policy_name']:<8s}"
+                f" makespan={row['makespan']:>12,.3f} ms"
+                f" lambda={row['total_lambda']:>12,.3f} ms"
+            )
+    return 0 if job["state"] in ("done", "queued", "running") else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.checks import runner as checks_runner
 
@@ -486,6 +656,9 @@ _COMMANDS = {
     "extension": _cmd_extension,
     "scenario": _cmd_scenario,
     "load-sweep": _cmd_load_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "poll": _cmd_poll,
     "calibrate": _cmd_calibrate,
     "check": _cmd_check,
 }

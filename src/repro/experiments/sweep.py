@@ -44,7 +44,12 @@ import tempfile
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+try:  # pragma: no cover - fcntl is stdlib on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: locking no-ops
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.dynamics import DynamicsSpec
 from repro.core.energy import DEFAULT_POWER_MODEL, PowerModel, energy_of
@@ -622,13 +627,55 @@ def execute_payload(payload: Mapping[str, object]) -> dict[str, object]:
 # ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
+#: Progress hook: called as ``progress(done, total)`` after each payload
+#: completes (and, at the engine level, once for the cache-hit batch).
+ProgressHook = Callable[[int, int], None]
+
+#: Cancellation hook: polled between payloads; truthy → stop the sweep.
+CancelHook = Callable[[], bool]
+
+
+class SweepCancelled(RuntimeError):
+    """Raised when a sweep stops at a cancellation point.
+
+    Carries how much work finished before the stop plus the result
+    records produced so far (``partial``, in payload order), so callers
+    up the stack can still cache completed work: a cancelled sweep is
+    never lost work, and a re-run resumes from the cache.
+    """
+
+    def __init__(
+        self,
+        done: int,
+        total: int,
+        partial: Sequence[Mapping[str, object]] = (),
+    ) -> None:
+        super().__init__(f"sweep cancelled after {done}/{total} jobs")
+        self.done = done
+        self.total = total
+        self.partial = list(partial)
+
+
 class SerialExecutor:
     """Run jobs one after another in the calling process."""
 
     workers = 1
 
-    def run(self, payloads: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
-        return [execute_payload(p) for p in payloads]
+    def run(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        progress: ProgressHook | None = None,
+        cancel: CancelHook | None = None,
+    ) -> list[dict[str, object]]:
+        total = len(payloads)
+        results: list[dict[str, object]] = []
+        for payload in payloads:
+            if cancel is not None and cancel():
+                raise SweepCancelled(len(results), total, partial=results)
+            results.append(execute_payload(payload))
+            if progress is not None:
+                progress(len(results), total)
+        return results
 
 
 class ProcessPoolExecutor:
@@ -638,6 +685,11 @@ class ProcessPoolExecutor:
     a sweep never silently returns partial or fabricated results.
     Batches of one job (or ``workers=1``) run inline to skip pool
     startup cost.
+
+    ``cancel`` is polled between completed payloads; when it fires the
+    pool is torn down (in-flight workers are terminated by the context
+    manager) and :class:`SweepCancelled` propagates with the count of
+    payloads that completed first.
     """
 
     def __init__(self, workers: int) -> None:
@@ -645,14 +697,34 @@ class ProcessPoolExecutor:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
 
-    def run(self, payloads: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
+    def run(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        progress: ProgressHook | None = None,
+        cancel: CancelHook | None = None,
+    ) -> list[dict[str, object]]:
         if self.workers == 1 or len(payloads) <= 1:
-            return SerialExecutor().run(payloads)
+            return SerialExecutor().run(payloads, progress=progress, cancel=cancel)
+        total = len(payloads)
+        if cancel is not None and cancel():
+            raise SweepCancelled(0, total)
         ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
+        results: list[dict[str, object]] = []
+        with ctx.Pool(processes=min(self.workers, total)) as pool:
             # chunksize=1: jobs vary widely in cost (46..157-kernel graphs),
-            # so fine-grained dispatch load-balances the pool.
-            return pool.map(execute_payload, list(payloads), chunksize=1)
+            # so fine-grained dispatch load-balances the pool.  imap (not
+            # map) keeps the parent in the loop between completions — the
+            # seam where progress is reported and cancellation observed.
+            # imap preserves input order, so ``results[:n]`` always pairs
+            # with ``payloads[:n]`` — the invariant SweepCancelled.partial
+            # relies on.
+            for record in pool.imap(execute_payload, list(payloads), chunksize=1):
+                results.append(record)
+                if progress is not None:
+                    progress(len(results), total)
+                if cancel is not None and cancel() and len(results) < total:
+                    raise SweepCancelled(len(results), total, partial=results)
+        return results
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -665,12 +737,60 @@ def resolve_workers(workers: int | None) -> int:
 # ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
+class FileLock:
+    """Cross-process advisory lock over a sidecar file (``flock``).
+
+    Reentrant-free, context-manager only.  On platforms without
+    :mod:`fcntl` the lock degrades to a no-op — single-process safety is
+    still guaranteed by atomic renames; only the index counters lose
+    their multi-writer exactness there.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: object | None = None
+
+    def __enter__(self) -> "FileLock":
+        fh = open(self.path, "a+", encoding="utf-8")
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        self._fh = fh
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        fh = self._fh
+        self._fh = None
+        assert fh is not None
+        if fcntl is not None:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)  # type: ignore[union-attr]
+        fh.close()  # type: ignore[union-attr]
+
+
+#: Cache index version (independent of SWEEP_FORMAT_VERSION: the index
+#: is bookkeeping, never a source of results).
+CACHE_INDEX_VERSION = 1
+
+#: Index + lock live beside the entries but deliberately do NOT match
+#: the ``*.json`` entry glob, so ``__len__``/``clear`` never count them.
+CACHE_INDEX_NAME = "index.meta"
+CACHE_LOCK_NAME = "index.lock"
+
+
 class ResultCache:
     """On-disk JSON result store, one file per job content hash.
 
-    Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
-    sharing a cache directory never observe torn files; unreadable or
-    corrupt entries are treated as misses.
+    Entry writes are atomic (temp file + ``os.replace``) so concurrent
+    sweeps sharing a cache directory never observe torn files;
+    unreadable or corrupt entries are treated as misses.
+
+    The cache also maintains an ``index.meta`` sidecar with cumulative
+    counters (``puts``: total writes ever, ``entries``: distinct keys
+    written).  That file is a read-modify-write, which atomic renames
+    alone cannot make safe across processes — updates therefore happen
+    under a cross-process :class:`FileLock`, and the new-key check +
+    entry rename + index rewrite form one critical section
+    (``tests/test_sweep.py::test_concurrent_cache_writers`` hammers this
+    with N processes).
     """
 
     def __init__(self, cache_dir: str | Path) -> None:
@@ -678,6 +798,7 @@ class ResultCache:
         if self.dir.exists() and not self.dir.is_dir():
             raise ValueError(f"cache_dir exists but is not a directory: {self.dir}")
         self.dir.mkdir(parents=True, exist_ok=True)
+        self._lock = FileLock(self.dir / CACHE_LOCK_NAME)
 
     def path_for(self, key: str) -> Path:
         return self.dir / f"{key}.json"
@@ -698,7 +819,46 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(record, fh)
-            os.replace(tmp, self.path_for(key))
+            with self._lock:
+                fresh = not self.path_for(key).exists()
+                os.replace(tmp, self.path_for(key))
+                index = self._read_index()
+                index["puts"] = int(index.get("puts", 0)) + 1
+                if fresh:
+                    index["entries"] = int(index.get("entries", 0)) + 1
+                self._write_index(index)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def stats(self) -> dict[str, int]:
+        """The index counters: ``{"puts": ..., "entries": ...}``."""
+        with self._lock:
+            index = self._read_index()
+        return {
+            "puts": int(index.get("puts", 0)),
+            "entries": int(index.get("entries", 0)),
+        }
+
+    def _read_index(self) -> dict[str, object]:
+        try:
+            with open(self.dir / CACHE_INDEX_NAME, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {"version": CACHE_INDEX_VERSION, "puts": 0, "entries": 0}
+        if not isinstance(data, dict) or data.get("version") != CACHE_INDEX_VERSION:
+            return {"version": CACHE_INDEX_VERSION, "puts": 0, "entries": 0}
+        return data
+
+    def _write_index(self, index: Mapping[str, object]) -> None:
+        # atomic even though callers hold the lock: lock-free readers
+        # (stats of a dying process, humans with cat) never see torn JSON.
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(index, fh)
+            os.replace(tmp, self.dir / CACHE_INDEX_NAME)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -711,11 +871,13 @@ class ResultCache:
         return self.path_for(key).exists()
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries (and reset the index); returns how many."""
         n = 0
-        for path in self.dir.glob("*.json"):
-            path.unlink()
-            n += 1
+        with self._lock:
+            for path in self.dir.glob("*.json"):
+                path.unlink()
+                n += 1
+            self._write_index({"version": CACHE_INDEX_VERSION, "puts": 0, "entries": 0})
         return n
 
 
@@ -768,11 +930,23 @@ class SweepEngine:
     def workers(self) -> int:
         return self.executor.workers
 
-    def run_jobs(self, jobs: Sequence[SweepJob]) -> list[JobResult]:
+    def run_jobs(
+        self,
+        jobs: Sequence[SweepJob],
+        progress: ProgressHook | None = None,
+        cancel: CancelHook | None = None,
+    ) -> list[JobResult]:
         """Execute (or recall) every job, preserving request order.
 
         Duplicate jobs within a batch are simulated once.  Results of
         fresh simulations are written to both cache layers.
+
+        ``progress`` is called as ``progress(done, total)`` over the
+        *deduplicated* work: once after the cache-resolution phase
+        (counting every hit at once) and once per executed payload.
+        ``cancel`` is polled between payloads; a truthy return raises
+        :class:`SweepCancelled` — results already produced stay cached,
+        so a re-run resumes where the cancellation landed.
         """
         hashes = [job.content_hash() for job in jobs]
         self.stats.requested += len(jobs)
@@ -799,9 +973,33 @@ class SweepEngine:
                         continue
             pending.append((key, job))
             pending_keys.add(key)
+        total = len(resolved) + len(pending)
+        if progress is not None and resolved:
+            progress(len(resolved), total)
         if pending:
+            hits = len(resolved)
+
+            def _executor_progress(done: int, _total: int) -> None:
+                if progress is not None:
+                    progress(hits + done, total)
+
             payloads = [job.runnable_payload() for _, job in pending]
-            outputs = self.executor.run(payloads)
+            try:
+                outputs = self.executor.run(
+                    payloads, progress=_executor_progress, cancel=cancel
+                )
+            except SweepCancelled as exc:
+                # cancelled mid-batch: completed payloads are still real
+                # results — cache them so a re-run resumes, not restarts.
+                self.stats.simulated += exc.done
+                if self.use_cache:
+                    for (key, _), record in zip(pending, exc.partial):
+                        self._memory[key] = JobResult.from_dict(record)
+                        if self.disk is not None:
+                            self.disk.put(key, record)
+                raise SweepCancelled(
+                    hits + exc.done, total, partial=exc.partial
+                ) from None
             self.stats.simulated += len(outputs)
             for (key, _), record in zip(pending, outputs):
                 result = JobResult.from_dict(record)
@@ -874,15 +1072,18 @@ class SweepSpec:
 
 __all__ = [
     "SWEEP_FORMAT_VERSION",
+    "CACHE_INDEX_VERSION",
     "SimSettings",
     "PolicySpec",
     "SweepJob",
     "JobResult",
     "SweepSpec",
     "SweepStats",
+    "SweepCancelled",
     "SweepEngine",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "FileLock",
     "ResultCache",
     "app_spans_to_payload",
     "execute_payload",

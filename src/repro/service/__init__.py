@@ -1,0 +1,60 @@
+"""Scheduler-as-a-service: a concurrent scenario server.
+
+The service promotes the cached sweep engine (PR 1) and the declarative
+scenario registry (PR 3) to a long-running system: an asyncio HTTP/JSON
+API over a work-stealing executor, with the content-hash result store
+shared across requests — a million identical submissions cost one
+simulation.
+
+Modules
+-------
+* :mod:`repro.service.protocol` — the wire format: submit requests, job
+  states/status bodies, result pagination (the mypy-strict zone);
+* :mod:`repro.service.store` — :class:`SharedResultStore`, the
+  cross-request content-hash store over the sweep
+  :class:`~repro.experiments.sweep.ResultCache`;
+* :mod:`repro.service.jobs` — :class:`JobManager`: admission control,
+  per-client fairness, singleflight dedup, cooperative cancellation,
+  progress events, and the payload executors;
+* :mod:`repro.service.server` — the hand-rolled asyncio HTTP server and
+  the ``run_service`` helper for in-process deployments;
+* :mod:`repro.service.client` — sync (urllib) and async
+  (``asyncio.open_connection``) JSON clients.
+
+API reference with curl examples: ``docs/service.md``.
+"""
+
+from repro.service.jobs import (
+    InlineExecutor,
+    JobManager,
+    ProcessExecutor,
+    QueueFullError,
+    make_executor,
+)
+from repro.service.protocol import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    ProtocolError,
+    ResultPage,
+    SubmitRequest,
+    paginate,
+)
+from repro.service.server import ServiceServer, run_service
+from repro.service.store import SharedResultStore
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "InlineExecutor",
+    "JobManager",
+    "ProcessExecutor",
+    "ProtocolError",
+    "QueueFullError",
+    "ResultPage",
+    "ServiceServer",
+    "SharedResultStore",
+    "SubmitRequest",
+    "make_executor",
+    "paginate",
+    "run_service",
+]

@@ -1,0 +1,221 @@
+"""Clients for the scenario service.
+
+Two flavours over the same JSON API:
+
+* :class:`ServiceClient` — synchronous, built on ``urllib.request``;
+  what the CLI verbs (``submit`` / ``poll``) and the docs examples use.
+* :class:`AsyncServiceClient` — speaks HTTP/1.1 directly over
+  ``asyncio.open_connection`` (mirroring the server's hand-rolled
+  transport), so the load harness can hold hundreds of submissions in
+  flight from one thread.
+
+Both return ``(status, body)`` tuples and never raise on HTTP error
+statuses — admission rejection (429) is an expected answer, not an
+exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.service.protocol import TERMINAL_STATES
+
+__all__ = ["AsyncServiceClient", "ServiceClient"]
+
+
+def _submit_body(
+    scenario: "str | None",
+    spec: "Mapping[str, Any] | None",
+    client: "str | None",
+    settings: "Mapping[str, Any] | None",
+) -> dict[str, Any]:
+    body: dict[str, Any] = {}
+    if scenario is not None:
+        body["scenario"] = scenario
+    if spec is not None:
+        body["spec"] = dict(spec)
+    if client is not None:
+        body["client"] = client
+    if settings:
+        body["settings"] = dict(settings)
+    return body
+
+
+class ServiceClient:
+    """Synchronous JSON client (one request per connection)."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url.rstrip("/")
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: "Mapping[str, Any] | None" = None,
+    ) -> tuple[int, dict[str, Any]]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = exc.read().decode("utf-8", errors="replace")
+            try:
+                decoded = json.loads(payload)
+            except json.JSONDecodeError:
+                decoded = {"error": payload}
+            return exc.code, decoded
+
+    # ------------------------------------------------------------------
+    def health(self) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", "/stats")
+
+    def submit(
+        self,
+        scenario: "str | None" = None,
+        spec: "Mapping[str, Any] | None" = None,
+        client: "str | None" = None,
+        settings: "Mapping[str, Any] | None" = None,
+    ) -> tuple[int, dict[str, Any]]:
+        return self.request(
+            "POST", "/scenarios", _submit_body(scenario, spec, client, settings)
+        )
+
+    def status(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(
+        self, job_id: str, offset: int = 0, limit: int = 256
+    ) -> tuple[int, dict[str, Any]]:
+        return self.request(
+            "GET", f"/jobs/{job_id}/result?offset={offset}&limit={limit}"
+        )
+
+    def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, poll_s: float = 0.05) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status body."""
+        while True:
+            status, body = self.status(job_id)
+            if status != 200:
+                raise RuntimeError(f"poll failed ({status}): {body}")
+            job = body["job"]
+            if job["state"] in TERMINAL_STATES:
+                return job
+            time.sleep(poll_s)
+
+    def fetch_rows(self, job_id: str, limit: int = 256) -> list[dict[str, Any]]:
+        """Follow ``next_offset`` until every available row is collected."""
+        rows: list[dict[str, Any]] = []
+        offset = 0
+        while True:
+            status, body = self.result(job_id, offset=offset, limit=limit)
+            if status != 200:
+                raise RuntimeError(f"result fetch failed ({status}): {body}")
+            rows.extend(body["rows"])
+            if body["next_offset"] is None:
+                return rows
+            offset = body["next_offset"]
+
+
+class AsyncServiceClient:
+    """Asyncio JSON client speaking HTTP/1.1 directly over a socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: "Mapping[str, Any] | None" = None,
+    ) -> tuple[int, dict[str, Any]]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split()
+            status = int(parts[1]) if len(parts) >= 2 else 500
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            raw = await reader.readexactly(content_length)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return status, json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    async def health(self) -> tuple[int, dict[str, Any]]:
+        return await self.request("GET", "/healthz")
+
+    async def stats(self) -> tuple[int, dict[str, Any]]:
+        return await self.request("GET", "/stats")
+
+    async def submit(
+        self,
+        scenario: "str | None" = None,
+        spec: "Mapping[str, Any] | None" = None,
+        client: "str | None" = None,
+        settings: "Mapping[str, Any] | None" = None,
+    ) -> tuple[int, dict[str, Any]]:
+        return await self.request(
+            "POST", "/scenarios", _submit_body(scenario, spec, client, settings)
+        )
+
+    async def status(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return await self.request("GET", f"/jobs/{job_id}")
+
+    async def result(
+        self, job_id: str, offset: int = 0, limit: int = 256
+    ) -> tuple[int, dict[str, Any]]:
+        return await self.request(
+            "GET", f"/jobs/{job_id}/result?offset={offset}&limit={limit}"
+        )
+
+    async def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return await self.request("DELETE", f"/jobs/{job_id}")
+
+    async def wait(self, job_id: str, poll_s: float = 0.02) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final status body."""
+        while True:
+            status, body = await self.status(job_id)
+            if status != 200:
+                raise RuntimeError(f"poll failed ({status}): {body}")
+            job = body["job"]
+            if job["state"] in TERMINAL_STATES:
+                return job
+            await asyncio.sleep(poll_s)

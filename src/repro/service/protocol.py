@@ -1,0 +1,192 @@
+"""Wire format for the scenario service.
+
+Pure data layer — no I/O, no asyncio, no wall clock — shared by the
+server (:mod:`repro.service.server`), the job manager
+(:mod:`repro.service.jobs`) and both clients.  This module is part of
+the mypy strict zone (``mypy.ini``): every definition is fully
+annotated.
+
+The three concerns that live here:
+
+* **Submit requests** — :class:`SubmitRequest` validates the JSON body
+  of ``POST /scenarios``: exactly one of ``scenario`` (a registered
+  name) or ``spec`` (an inline ScenarioSpec dict), an optional
+  ``client`` identity for fairness accounting, and optional ``settings``
+  overrides merged over the spec's own settings.
+* **Job states** — the five-state lifecycle every job walks
+  (``queued → running → done | failed | cancelled``) and the terminal
+  subset used by pollers.
+* **Result pagination** — :func:`paginate` slices a row list into a
+  :class:`ResultPage` whose ``next_offset`` / ``complete`` fields let a
+  client reassemble the exact unpaginated sequence regardless of page
+  size (property-tested in ``tests/test_service_store.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ProtocolError",
+    "ResultPage",
+    "SubmitRequest",
+    "error_body",
+    "paginate",
+]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES: tuple[str, ...] = ("queued", "running", "done", "failed", "cancelled")
+
+#: States from which a job never moves again; pollers stop here.
+TERMINAL_STATES: frozenset[str] = frozenset({"done", "failed", "cancelled"})
+
+#: Default identity when a submit request names no client.
+ANONYMOUS_CLIENT: str = "anonymous"
+
+#: Default page size for ``GET /jobs/<id>/result``.
+DEFAULT_PAGE_LIMIT: int = 256
+
+
+class ProtocolError(ValueError):
+    """A malformed request body or query parameter.
+
+    Carries the HTTP status the server should answer with (400 unless
+    the raiser says otherwise), so the transport layer never has to
+    re-interpret validation failures.
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def error_body(message: str, **extra: Any) -> dict[str, Any]:
+    """The uniform JSON error envelope: ``{"error": <message>, ...}``."""
+
+    body: dict[str, Any] = {"error": message}
+    body.update(extra)
+    return body
+
+
+_SUBMIT_KEYS: frozenset[str] = frozenset({"scenario", "spec", "client", "settings"})
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A validated ``POST /scenarios`` body.
+
+    Exactly one of ``scenario`` / ``spec`` is set; ``settings`` holds
+    overrides (e.g. ``{"seed": 7}``) merged over the spec's own
+    settings by the job manager.
+    """
+
+    scenario: str | None = None
+    spec: Mapping[str, Any] | None = None
+    client: str = ANONYMOUS_CLIENT
+    settings: Mapping[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def from_dict(body: Any) -> "SubmitRequest":
+        """Validate a decoded JSON body, raising :class:`ProtocolError`."""
+
+        if not isinstance(body, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = sorted(set(body) - _SUBMIT_KEYS)
+        if unknown:
+            raise ProtocolError(f"unknown submit keys: {', '.join(unknown)}")
+
+        scenario = body.get("scenario")
+        spec = body.get("spec")
+        if (scenario is None) == (spec is None):
+            raise ProtocolError("provide exactly one of 'scenario' or 'spec'")
+        if scenario is not None and not isinstance(scenario, str):
+            raise ProtocolError("'scenario' must be a string")
+        if spec is not None and not isinstance(spec, Mapping):
+            raise ProtocolError("'spec' must be a JSON object")
+
+        client = body.get("client", ANONYMOUS_CLIENT)
+        if not isinstance(client, str) or not client:
+            raise ProtocolError("'client' must be a non-empty string")
+
+        settings = body.get("settings", {})
+        if not isinstance(settings, Mapping):
+            raise ProtocolError("'settings' must be a JSON object")
+
+        return SubmitRequest(
+            scenario=scenario, spec=spec, client=client, settings=dict(settings)
+        )
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of JobResult rows plus the cursor to fetch the next.
+
+    ``total`` counts the rows available *right now* (a running job grows
+    it); ``complete`` is True once the job is terminal, i.e. no further
+    rows will ever appear.  ``next_offset`` is ``None`` when this page
+    exhausts the currently-available rows.
+    """
+
+    offset: int
+    limit: int
+    total: int
+    complete: bool
+    rows: tuple[Mapping[str, Any], ...]
+    next_offset: int | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "offset": self.offset,
+            "limit": self.limit,
+            "total": self.total,
+            "complete": self.complete,
+            "rows": [dict(row) for row in self.rows],
+            "next_offset": self.next_offset,
+        }
+
+
+def paginate(
+    rows: Sequence[Mapping[str, Any]],
+    offset: int = 0,
+    limit: int = DEFAULT_PAGE_LIMIT,
+    *,
+    complete: bool = True,
+) -> ResultPage:
+    """Slice ``rows`` into a :class:`ResultPage`.
+
+    Invariant (property-tested): concatenating the ``rows`` of
+    successive pages, following ``next_offset`` until it is ``None``,
+    reproduces ``rows`` exactly for any positive ``limit``.
+    """
+
+    if offset < 0:
+        raise ProtocolError("'offset' must be >= 0")
+    if limit <= 0:
+        raise ProtocolError("'limit' must be > 0")
+    total = len(rows)
+    window = tuple(dict(row) for row in rows[offset : offset + limit])
+    end = offset + len(window)
+    next_offset = end if end < total else None
+    return ResultPage(
+        offset=offset,
+        limit=limit,
+        total=total,
+        complete=complete,
+        rows=window,
+        next_offset=next_offset,
+    )
+
+
+def parse_positive_int(value: str, name: str) -> int:
+    """Parse a query-string integer, raising :class:`ProtocolError`."""
+
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ProtocolError(f"'{name}' must be an integer") from None
+    if parsed < 0:
+        raise ProtocolError(f"'{name}' must be >= 0")
+    return parsed

@@ -1,0 +1,314 @@
+"""The scenario service's HTTP layer.
+
+A deliberately small HTTP/1.1 server hand-rolled over
+``asyncio.start_server`` — the runtime image carries no HTTP framework,
+and the service needs exactly six verbs:
+
+========  ======================  ===========================================
+method    path                    meaning
+========  ======================  ===========================================
+GET       ``/healthz``            liveness probe
+GET       ``/stats``              manager / store / fairness counters
+POST      ``/scenarios``          submit (``202``, or ``429`` when full)
+GET       ``/jobs/<id>``          job status + progress events
+GET       ``/jobs/<id>/result``   paginated JobResult rows (``offset``/``limit``)
+DELETE    ``/jobs/<id>``          cooperative cancel (idempotent)
+========  ======================  ===========================================
+
+Every response is JSON with ``Content-Length`` and ``Connection:
+close`` — one request per connection keeps the parser trivial and is
+plenty for a scenario-granular API (the load harness sustains hundreds
+of concurrent submissions this way; see ``tools/load_test.py``).
+
+:func:`run_service` runs a complete server (manager, store, executor)
+on a background thread with its own event loop — the in-process
+deployment the CLI, the tests and the docs example use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import queue
+import threading
+from typing import Iterator, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.lookup import LookupTable
+from repro.service.jobs import JobManager, QueueFullError, make_executor
+from repro.service.protocol import (
+    DEFAULT_PAGE_LIMIT,
+    ProtocolError,
+    SubmitRequest,
+    error_body,
+    paginate,
+    parse_positive_int,
+)
+from repro.service.store import SharedResultStore
+
+__all__ = ["ServiceServer", "run_service"]
+
+#: Largest accepted request body (a full inline ScenarioSpec is ~kB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest accepted request line / header line.
+MAX_LINE_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ServiceServer:
+    """The asyncio HTTP front end over a :class:`JobManager`."""
+
+    def __init__(
+        self, manager: JobManager, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        # backlog sized for the load harness: hundreds of one-shot
+        # connections arrive in the same tick (Connection: close means
+        # every request is a fresh socket).
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, backlog=512
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel live jobs, shut the executor down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+        except Exception:
+            status, body = 500, error_body("internal server error")
+        try:
+            payload = json.dumps(body).encode("utf-8")
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, object]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return 400, error_body("connection error")
+        if len(request_line) > MAX_LINE_BYTES:
+            return 400, error_body("request line too long")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, error_body("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if len(line) > MAX_LINE_BYTES:
+                return 400, error_body("header line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, error_body("bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            return 413, error_body("request body too large")
+        raw_body = b""
+        if content_length > 0:
+            try:
+                raw_body = await reader.readexactly(content_length)
+            except asyncio.IncompleteReadError:
+                return 400, error_body("truncated request body")
+
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        params = parse_qs(split.query)
+        try:
+            return self._route(method, path, params, raw_body)
+        except ProtocolError as exc:
+            return exc.status, error_body(str(exc))
+
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, list[str]],
+        raw_body: bytes,
+    ) -> tuple[int, dict[str, object]]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}
+        if path == "/stats" and method == "GET":
+            return 200, self.manager.stats()
+        if path == "/scenarios":
+            if method != "POST":
+                return 405, error_body("POST only")
+            return self._submit(raw_body)
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/result"):
+                job_id, trailer = rest[: -len("/result")], "result"
+            else:
+                job_id, trailer = rest, ""
+            if "/" in job_id or not job_id:
+                return 404, error_body("no such route")
+            if trailer == "result" and method == "GET":
+                return self._result(job_id, params)
+            if trailer == "" and method == "GET":
+                return self._status(job_id)
+            if trailer == "" and method == "DELETE":
+                return self._cancel(job_id)
+            return 405, error_body(f"unsupported method {method}")
+        return 404, error_body("no such route")
+
+    def _submit(self, raw_body: bytes) -> tuple[int, dict[str, object]]:
+        try:
+            body = json.loads(raw_body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, error_body("request body is not valid JSON")
+        request = SubmitRequest.from_dict(body)
+        try:
+            record = self.manager.submit(request)
+        except QueueFullError as exc:
+            return 429, error_body(str(exc), active=exc.active, limit=exc.limit)
+        return 202, {"job": record.status_dict()}
+
+    def _status(self, job_id: str) -> tuple[int, dict[str, object]]:
+        record = self.manager.get(job_id)
+        if record is None:
+            return 404, error_body(f"no such job {job_id!r}")
+        return 200, {"job": record.status_dict()}
+
+    def _result(
+        self, job_id: str, params: Mapping[str, list[str]]
+    ) -> tuple[int, dict[str, object]]:
+        record = self.manager.get(job_id)
+        if record is None:
+            return 404, error_body(f"no such job {job_id!r}")
+        offset = parse_positive_int(params.get("offset", ["0"])[0], "offset")
+        limit = parse_positive_int(
+            params.get("limit", [str(DEFAULT_PAGE_LIMIT)])[0], "limit"
+        )
+        if limit == 0:
+            raise ProtocolError("'limit' must be > 0")
+        page = paginate(record.rows, offset, limit, complete=record.finished)
+        body: dict[str, object] = {"id": record.id, "state": record.state}
+        if record.error is not None:
+            body["error"] = record.error
+        body.update(page.to_dict())
+        return 200, body
+
+    def _cancel(self, job_id: str) -> tuple[int, dict[str, object]]:
+        record = self.manager.cancel(job_id)
+        if record is None:
+            return 404, error_body(f"no such job {job_id!r}")
+        return 200, {"job": record.status_dict()}
+
+
+# ----------------------------------------------------------------------
+# in-process deployment
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def run_service(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    executor: str = "inline",
+    slots: int = 2,
+    store_dir: "str | None" = None,
+    queue_limit: int = 64,
+    lookup: LookupTable | None = None,
+) -> Iterator[ServiceServer]:
+    """Run a complete service on a background thread; yields the server.
+
+    ``port=0`` binds an ephemeral port (read it off ``server.port``).
+    On exit the server stops accepting, cancels live jobs cooperatively
+    and joins the thread — safe to use repeatedly in one process.
+    """
+    startup: "queue.Queue[object]" = queue.Queue()
+    control: dict[str, object] = {}
+
+    def _thread_main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def _serve() -> None:
+            stop = asyncio.Event()
+            manager = JobManager(
+                store=SharedResultStore(store_dir),
+                executor=make_executor(executor, slots),
+                lookup=lookup,
+                queue_limit=queue_limit,
+            )
+            server = ServiceServer(manager, host=host, port=port)
+            try:
+                await server.start()
+            except Exception as exc:
+                startup.put(exc)
+                return
+            control["loop"] = loop
+            control["stop"] = stop
+            startup.put(server)
+            await stop.wait()
+            await server.stop()
+
+        try:
+            loop.run_until_complete(_serve())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_thread_main, name="repro-service", daemon=True)
+    thread.start()
+    started = startup.get()
+    if isinstance(started, BaseException):
+        thread.join()
+        raise started
+    assert isinstance(started, ServiceServer)
+    try:
+        yield started
+    finally:
+        loop = control["loop"]
+        stop = control["stop"]
+        loop.call_soon_threadsafe(stop.set)  # type: ignore[attr-defined]
+        thread.join()

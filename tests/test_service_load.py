@@ -1,0 +1,90 @@
+"""Load/soak test for the scenario service (satellite of PR 8).
+
+Runs the full :mod:`tools.load_test` harness in-process: ≥200 concurrent
+submissions over 20 unique specs, then asserts the acceptance bars —
+exact dedup (one simulation per unique spec), zero dropped accepted
+jobs, and a recorded p99 poll latency — and that the report landed in
+``results/local/service_load.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import load_test  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory: pytest.TempPathFactory) -> dict[str, object]:
+    out = tmp_path_factory.mktemp("load") / "service_load.txt"
+    result = load_test.run_load_test(
+        n_requests=200, n_unique=20, n_clients=8, slots=4, out=out
+    )
+    result["__out__"] = out
+    return result
+
+
+class TestLoad:
+    def test_invariants_hold(self, report: dict[str, object]) -> None:
+        assert load_test.check_invariants(report) == []
+
+    def test_all_requests_accepted(self, report: dict[str, object]) -> None:
+        assert report["accepted"] == 200
+        assert report["rejected"] == 0
+        assert report["errors"] == 0
+
+    def test_exact_dedup(self, report: dict[str, object]) -> None:
+        # exactly one simulation per unique spec; every duplicate was
+        # served from the shared store or coalesced onto an in-flight
+        # simulation.
+        assert report["simulated"] == 20
+        assert report["store_puts"] == 20
+        assert report["served_from_cache"] == report["duplicates"] == 180
+        assert report["dedup_ratio"] == 1.0
+
+    def test_no_dropped_accepted_jobs(self, report: dict[str, object]) -> None:
+        assert report["dropped_accepted"] == 0
+        assert report["states"] == {"done": 200}
+
+    def test_poll_latency_recorded(self, report: dict[str, object]) -> None:
+        assert report["poll_count"] > 0
+        assert report["poll_p99_ms"] >= report["poll_p50_ms"] >= 0.0
+
+    def test_report_written(self, report: dict[str, object]) -> None:
+        out = report["__out__"]
+        assert isinstance(out, Path) and out.exists()
+        text = out.read_text(encoding="utf-8")
+        assert "dedup_ratio" in text
+        assert "poll_p99_ms" in text
+
+
+class TestHarnessUnits:
+    def test_make_specs_are_distinct(self) -> None:
+        specs = load_test.make_specs(5)
+        seeds = [spec["workload"]["params"]["seed"] for spec in specs]
+        assert len(set(seeds)) == 5
+
+    def test_percentile_bounds(self) -> None:
+        values = [float(v) for v in range(1, 101)]
+        assert load_test.percentile(values, 0.0) == 1.0
+        assert load_test.percentile(values, 1.0) == 100.0
+        assert load_test.percentile([], 0.99) == 0.0
+
+    def test_check_invariants_flags_problems(self) -> None:
+        bad = {
+            "rejected": 1,
+            "errors": 0,
+            "dropped_accepted": 2,
+            "simulated": 3,
+            "unique_specs": 5,
+            "store_puts": 4,
+        }
+        problems = load_test.check_invariants(bad)
+        assert len(problems) == 4

@@ -401,3 +401,148 @@ class TestOpenSystemPayload:
         again = warm.run_jobs([job])[0]
         assert warm.stats.simulated == 0
         assert again == first
+
+
+# ----------------------------------------------------------------------
+# cross-process cache index (the service seam's latent-bug fix)
+# ----------------------------------------------------------------------
+def _hammer_cache(args):
+    """Worker: write unique + shared keys into one shared cache dir."""
+    cache_dir, worker_id, n_unique, shared_keys = args
+    cache = ResultCache(cache_dir)
+    for j in range(n_unique):
+        cache.put(f"w{worker_id}_k{j}", {"worker": worker_id, "j": j})
+    for key in shared_keys:
+        cache.put(key, {"worker": worker_id, "shared": key})
+    return worker_id
+
+
+class TestConcurrentCacheWriters:
+    def test_concurrent_cache_writers(self, tmp_path):
+        """N processes hammering one cache dir: the index read-modify-write
+        must be exact (the pre-lock implementation lost updates)."""
+        n_workers, n_unique, n_shared = 4, 12, 5
+        shared_keys = [f"shared_{j}" for j in range(n_shared)]
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(n_workers) as pool:
+            pool.map(
+                _hammer_cache,
+                [(str(tmp_path), w, n_unique, shared_keys) for w in range(n_workers)],
+            )
+        cache = ResultCache(tmp_path)
+        expected_entries = n_workers * n_unique + n_shared
+        expected_puts = n_workers * (n_unique + n_shared)
+        stats = cache.stats()
+        assert stats["puts"] == expected_puts
+        assert stats["entries"] == expected_entries
+        # the index must agree with the actual entry files on disk
+        assert len(cache) == expected_entries
+
+    def test_index_files_are_not_cache_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"v": 1})
+        assert len(cache) == 1  # index.meta / index.lock not counted
+        assert cache.get("k1") is None or cache.get("k1") == {"v": 1}
+
+    def test_clear_resets_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", {"v": 1})
+        cache.put("k2", {"v": 2})
+        assert cache.clear() == 2
+        assert cache.stats() == {"puts": 0, "entries": 0}
+        assert len(cache) == 0
+
+    def test_repeat_put_counts_one_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for _ in range(3):
+            cache.put("k", {"v": 1})
+        assert cache.stats() == {"puts": 3, "entries": 1}
+
+
+# ----------------------------------------------------------------------
+# progress + cancellation hooks on the sweep seam
+# ----------------------------------------------------------------------
+class TestProgressAndCancel:
+    def jobs_of(self, lookup, system, n=3):
+        return [
+            job_of(lookup, system, name=f"g{i}", tag={"i": i}) for i in range(n)
+        ]
+
+    def test_progress_reports_every_job(self, lookup, system):
+        engine = SweepEngine(workers=1)
+        seen = []
+        engine.run_jobs(
+            self.jobs_of(lookup, system), progress=lambda d, t: seen.append((d, t))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_counts_cache_hits_in_one_step(self, lookup, system):
+        engine = SweepEngine(workers=1)
+        jobs = self.jobs_of(lookup, system)
+        engine.run_jobs(jobs)
+        seen = []
+        engine.run_jobs(jobs, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(3, 3)]
+
+    def test_cancel_before_start_raises_immediately(self, lookup, system):
+        from repro.experiments.sweep import SweepCancelled
+
+        engine = SweepEngine(workers=1)
+        with pytest.raises(SweepCancelled) as exc:
+            engine.run_jobs(self.jobs_of(lookup, system), cancel=lambda: True)
+        assert exc.value.done == 0
+        assert exc.value.total == 3
+        assert engine.stats.simulated == 0
+
+    def test_cancel_mid_sweep_keeps_partial_results_cached(
+        self, lookup, system, tmp_path
+    ):
+        from repro.experiments.sweep import SweepCancelled
+
+        engine = SweepEngine(workers=1, cache_dir=tmp_path)
+        jobs = self.jobs_of(lookup, system)
+        fired = {"count": 0}
+
+        def cancel_after_one():
+            fired["count"] += 1
+            return fired["count"] > 1  # first poll passes, second cancels
+
+        with pytest.raises(SweepCancelled) as exc:
+            engine.run_jobs(jobs, cancel=cancel_after_one)
+        assert 0 < exc.value.done < 3
+        assert len(exc.value.partial) == exc.value.done
+        # the finished prefix is cached: a fresh engine resumes, not restarts
+        resumed = SweepEngine(workers=1, cache_dir=tmp_path)
+        results = resumed.run_jobs(jobs)
+        assert len(results) == 3
+        assert resumed.stats.disk_hits == exc.value.done
+        assert resumed.stats.simulated == 3 - exc.value.done
+
+    def test_pool_cancel_terminates_batch(self, lookup, system, tmp_path):
+        from repro.experiments.sweep import ProcessPoolExecutor, SweepCancelled
+
+        executor = ProcessPoolExecutor(workers=2)
+        payloads = [
+            job.runnable_payload() for job in self.jobs_of(lookup, system, n=4)
+        ]
+        fired = {"count": 0}
+
+        def cancel_after_first():
+            # poll 1 is the pre-dispatch check; poll 2 follows the first
+            # completed payload
+            fired["count"] += 1
+            return fired["count"] >= 2
+
+        with pytest.raises(SweepCancelled) as exc:
+            executor.run(payloads, cancel=cancel_after_first)
+        assert 1 <= exc.value.done < 4
+        assert len(exc.value.partial) == exc.value.done
+
+    def test_serial_matches_cancel_free_run(self, lookup, system):
+        engine = SweepEngine(workers=1)
+        jobs = self.jobs_of(lookup, system)
+        plain = engine.run_jobs(jobs)
+        hooked = SweepEngine(workers=1).run_jobs(
+            jobs, progress=lambda d, t: None, cancel=lambda: False
+        )
+        assert hooked == plain

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Load/soak harness for the scenario service.
+
+Drives N concurrent scenario submissions (a mix of duplicate and unique
+specs from rotating client identities) against an in-process server,
+then polls every accepted job to a terminal state, measuring:
+
+* **dedup** — how many submissions were served entirely from the shared
+  result store / in-flight coalescing.  The acceptance bar: *exactly
+  one simulation per unique spec*, no matter how many duplicates raced.
+* **drops** — accepted (202) jobs must all reach ``done``; anything
+  else is a dropped accepted job.
+* **poll latency** — p50/p99 over every ``GET /jobs/<id>`` roundtrip.
+
+The report is written to ``results/local/service_load.txt`` (untracked:
+wall-clock numbers are machine-dependent) and uploaded as a CI artifact
+by the ``service-smoke`` job, which runs this harness at reduced scale.
+
+Usage::
+
+    PYTHONPATH=src python tools/load_test.py --requests 200 --unique 20
+
+Exit status is non-zero when an invariant (zero rejects, zero drops,
+exact dedup) fails, so CI catches regressions without parsing the
+report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+from repro.core.system import CPU_GPU_FPGA
+from repro.experiments.scenarios import ScenarioSpec, WorkloadSpec
+from repro.experiments.sweep import PolicySpec, system_to_dict
+from repro.service.client import AsyncServiceClient
+from repro.service.server import ServiceServer, run_service
+
+DEFAULT_OUT = Path("results/local/service_load.txt")
+
+
+def make_specs(n_unique: int, n_kernels: int = 6) -> list[dict[str, object]]:
+    """``n_unique`` distinct single-payload scenario specs.
+
+    Tiny pipeline workloads on the paper platform, distinguished only
+    by their generator seed — so every spec costs one simulation and
+    duplicates are byte-identical submissions.
+    """
+    system = system_to_dict(CPU_GPU_FPGA())
+    specs = []
+    for i in range(n_unique):
+        specs.append(
+            ScenarioSpec(
+                name=f"load_{i:03d}",
+                description="load-test pipeline unit",
+                system=system,
+                workload=WorkloadSpec.of(
+                    "pipeline", n_kernels=n_kernels, stage_width=2, seed=10_000 + i
+                ),
+                policies=(PolicySpec.of("met"),),
+            ).to_dict()
+        )
+    return specs
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+async def _drive(
+    server: ServiceServer,
+    n_requests: int,
+    n_unique: int,
+    n_clients: int,
+    poll_s: float,
+) -> dict[str, object]:
+    client = AsyncServiceClient(server.host, server.port)
+    specs = make_specs(n_unique)
+
+    submit_latencies: list[float] = []
+    poll_latencies: list[float] = []
+
+    async def _submit(i: int) -> tuple[int, dict]:
+        t0 = time.perf_counter()
+        status, body = await client.submit(
+            spec=specs[i % n_unique], client=f"c{i % n_clients}"
+        )
+        submit_latencies.append(time.perf_counter() - t0)
+        return status, body
+
+    t_start = time.perf_counter()
+    submitted = await asyncio.gather(*(_submit(i) for i in range(n_requests)))
+    t_submitted = time.perf_counter()
+
+    accepted = [body["job"]["id"] for status, body in submitted if status == 202]
+    rejected = sum(1 for status, _ in submitted if status == 429)
+    other = sum(1 for status, _ in submitted if status not in (202, 429))
+
+    async def _poll_to_done(job_id: str) -> dict:
+        while True:
+            t0 = time.perf_counter()
+            status, body = await client.status(job_id)
+            poll_latencies.append(time.perf_counter() - t0)
+            if status != 200:
+                return {"state": f"poll-error-{status}"}
+            job = body["job"]
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            await asyncio.sleep(poll_s)
+
+    finals = await asyncio.gather(*(_poll_to_done(job_id) for job_id in accepted))
+    t_done = time.perf_counter()
+
+    _, stats = await client.stats()
+    states: dict[str, int] = {}
+    for job in finals:
+        states[job["state"]] = states.get(job["state"], 0) + 1
+    simulated = sum(int(job.get("simulated", 0)) for job in finals)
+    store_hits = sum(int(job.get("store_hits", 0)) for job in finals)
+    coalesced = sum(int(job.get("coalesced", 0)) for job in finals)
+    dropped = len(accepted) - states.get("done", 0)
+    duplicates = n_requests - n_unique
+    served_from_cache = store_hits + coalesced
+
+    return {
+        "requests": n_requests,
+        "unique_specs": n_unique,
+        "clients": n_clients,
+        "accepted": len(accepted),
+        "rejected": rejected,
+        "errors": other,
+        "states": states,
+        "dropped_accepted": dropped,
+        "simulated": simulated,
+        "store_hits": store_hits,
+        "coalesced": coalesced,
+        "duplicates": duplicates,
+        "served_from_cache": served_from_cache,
+        "dedup_ratio": served_from_cache / max(1, duplicates),
+        "store_puts": stats["store"]["puts"],
+        "submit_p50_ms": 1e3 * percentile(submit_latencies, 0.50),
+        "submit_p99_ms": 1e3 * percentile(submit_latencies, 0.99),
+        "poll_count": len(poll_latencies),
+        "poll_p50_ms": 1e3 * percentile(poll_latencies, 0.50),
+        "poll_p99_ms": 1e3 * percentile(poll_latencies, 0.99),
+        "submit_wall_s": t_submitted - t_start,
+        "total_wall_s": t_done - t_start,
+    }
+
+
+def run_load_test(
+    n_requests: int = 200,
+    n_unique: int = 20,
+    n_clients: int = 8,
+    slots: int = 4,
+    executor: str = "inline",
+    poll_s: float = 0.02,
+    out: "Path | str | None" = DEFAULT_OUT,
+) -> dict[str, object]:
+    """Run the full harness against a fresh in-process server."""
+    with run_service(
+        executor=executor, slots=slots, queue_limit=n_requests + 8
+    ) as server:
+        loop = asyncio.new_event_loop()
+        try:
+            report = loop.run_until_complete(
+                _drive(server, n_requests, n_unique, n_clients, poll_s)
+            )
+        finally:
+            loop.close()
+    if out is not None:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(format_report(report), encoding="utf-8")
+    return report
+
+
+def format_report(report: dict[str, object]) -> str:
+    lines = ["service load test", "================="]
+    for key in (
+        "requests",
+        "unique_specs",
+        "clients",
+        "accepted",
+        "rejected",
+        "errors",
+        "dropped_accepted",
+        "simulated",
+        "store_hits",
+        "coalesced",
+        "duplicates",
+        "served_from_cache",
+        "dedup_ratio",
+        "store_puts",
+    ):
+        lines.append(f"{key:<20s} {report[key]}")
+    for key in (
+        "submit_p50_ms",
+        "submit_p99_ms",
+        "poll_p50_ms",
+        "poll_p99_ms",
+    ):
+        lines.append(f"{key:<20s} {report[key]:.3f}")
+    lines.append(f"{'poll_count':<20s} {report['poll_count']}")
+    lines.append(f"{'submit_wall_s':<20s} {report['submit_wall_s']:.3f}")
+    lines.append(f"{'total_wall_s':<20s} {report['total_wall_s']:.3f}")
+    return "\n".join(lines) + "\n"
+
+
+def check_invariants(report: dict[str, object]) -> list[str]:
+    """The acceptance bars; returns human-readable violations."""
+    problems = []
+    if report["rejected"] or report["errors"]:
+        problems.append(
+            f"submissions not accepted: {report['rejected']} rejected, "
+            f"{report['errors']} errors"
+        )
+    if report["dropped_accepted"]:
+        problems.append(f"{report['dropped_accepted']} accepted jobs did not finish")
+    if report["simulated"] != report["unique_specs"]:
+        problems.append(
+            f"expected exactly {report['unique_specs']} simulations, "
+            f"got {report['simulated']}"
+        )
+    if report["store_puts"] != report["unique_specs"]:
+        problems.append(
+            f"store holds {report['store_puts']} records for "
+            f"{report['unique_specs']} unique specs"
+        )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--unique", type=int, default=20)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--slots", type=int, default=4)
+    parser.add_argument("--executor", choices=("inline", "process"), default="inline")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    report = run_load_test(
+        n_requests=args.requests,
+        n_unique=args.unique,
+        n_clients=args.clients,
+        slots=args.slots,
+        executor=args.executor,
+        out=args.out,
+    )
+    print(format_report(report), end="")
+    print(f"-> {args.out}")
+    problems = check_invariants(report)
+    for problem in problems:
+        print(f"INVARIANT VIOLATED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
