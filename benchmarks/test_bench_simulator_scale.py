@@ -123,15 +123,23 @@ BACKEND_REGRESSION_FRACTION = 0.80
 
 
 def test_bench_array_backend(local_results_dir):
+    from repro.core._kernels import resolve_jit
+
     scenario = bench_record.scenario_name(BACKEND_N_KERNELS)
-    committed = bench_record.last_entry_for(scenario)
+    # gate against the newest entry measured with the same jit state;
+    # a jit leg with no jit entry yet falls back to the fallback-path
+    # trajectory (jit is never slower, so the floor stays conservative).
+    jit_active = resolve_jit(None)
+    committed = bench_record.last_entry_for(
+        scenario, jit=jit_active
+    ) or bench_record.last_entry_for(scenario)
     t_array = bench_record.run_backend("array", BACKEND_N_KERNELS, REPEATS)
     t_object = bench_record.run_backend("object", BACKEND_N_KERNELS, REPEATS)
     speedup = t_object / t_array
 
     lines = [
         "Engine-backend benchmark — array vs object hot path",
-        f"scenario: {scenario}",
+        f"scenario: {scenario}   jit: {'on' if jit_active else 'off'}",
         f"array  : {t_array:>12.1f} ms",
         f"object : {t_object:>12.1f} ms",
         f"speedup: {speedup:>12.2f}x",

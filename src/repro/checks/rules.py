@@ -802,6 +802,102 @@ def _describe_drift(old: dict[str, object], new: dict[str, object]) -> str:
 
 
 # ----------------------------------------------------------------------
+# 8. jit-kernel-pairs
+# ----------------------------------------------------------------------
+class JitKernelPairRule(Rule):
+    """Compiled kernels ship as registered twin pairs.
+
+    The array backend's jit layer (``core/_kernels.py``) keeps two
+    implementations of every hot kernel: the always-available numpy
+    fallback ``<name>_py`` and the numba-compilable source
+    ``_<name>_src``.  The ``KERNELS`` registry is the contract the
+    differential tests enforce pairwise equivalence over — a jit source
+    outside the registry (or a registry entry naming a missing twin)
+    is a kernel whose two implementations can silently diverge.
+    """
+
+    id = "jit-kernel-pairs"
+    title = "_kernels twins are registered pairwise (fallback + jit source)"
+
+    _MODULE = "core/_kernels.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        module = project.find_module(self._MODULE)
+        if module is None:
+            return
+        functions = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        registry: "ast.Assign | ast.AnnAssign | None" = None
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "KERNELS"
+                for t in node.targets
+            ):
+                registry = node
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "KERNELS"
+                and node.value is not None
+            ):
+                registry = node
+        if registry is None or not isinstance(registry.value, ast.Dict):
+            yield module.finding(
+                self,
+                registry or 1,
+                "core/_kernels.py must define KERNELS as a literal dict "
+                "mapping each kernel name to its (<name>_py, _<name>_src) "
+                "twins — the pairwise parity contract",
+            )
+            return
+        registered: set[str] = set()
+        for key, value in zip(registry.value.keys, registry.value.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                yield module.finding(
+                    self, key or registry, "KERNELS keys must be string literals"
+                )
+                continue
+            name = key.value
+            expected = (f"{name}_py", f"_{name}_src")
+            refs: tuple[str, ...] = ()
+            if isinstance(value, ast.Tuple):
+                refs = tuple(dotted_name(elt) or "?" for elt in value.elts)
+            if refs != expected:
+                yield module.finding(
+                    self,
+                    key,
+                    f"KERNELS[{name!r}] must register the twins "
+                    f"({expected[0]}, {expected[1]}); found {refs or value!r}",
+                )
+                continue
+            missing = [fn for fn in expected if fn not in functions]
+            if missing:
+                yield module.finding(
+                    self,
+                    key,
+                    f"KERNELS[{name!r}] references undefined twin(s) "
+                    f"{missing} — both implementations must exist",
+                )
+            registered.update(expected)
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name.startswith("_")
+                and node.name.endswith("_src")
+                and node.name not in registered
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"jit source {node.name}() is not in the KERNELS registry "
+                    f"— an unregistered twin escapes the pairwise parity tests",
+                )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 ALL_RULES: tuple[Rule, ...] = (
@@ -812,6 +908,7 @@ ALL_RULES: tuple[Rule, ...] = (
     HookConformanceRule(),
     BackendParityRule(),
     CacheVersionGuardRule(),
+    JitKernelPairRule(),
 )
 
 

@@ -41,7 +41,10 @@ Every sweep-shaped subcommand (``compare``, ``sweep``, ``table``,
 * ``--no-cache``    — disable result caching entirely;
 * ``--backend B``   — engine hot path (``object`` or ``array``; also on
   ``simulate``).  The array backend is the fast struct-of-arrays
-  implementation — results are bit-identical to the object engine.
+  implementation — results are bit-identical to the object engine;
+* ``--jit MODE``    — compiled array-backend kernels (``auto``/``on``/
+  ``off``; also on ``simulate``).  Falls back to the pure-numpy twins
+  when numba is absent, bit-identical either way.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ import sys
 import numpy as np
 
 from repro.analysis.gantt import ascii_gantt
+from repro.core._kernels import JIT_ENV_VAR, jit_status
 from repro.core.engine import BACKEND_ENV_VAR, ENGINE_BACKENDS
 from repro.core.simulator import Simulator
 from repro.core.system import CPU_GPU_FPGA
@@ -121,6 +125,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "'object'); results are bit-identical either way"
         ),
     )
+    engine.add_argument(
+        "--jit",
+        default=None,
+        choices=("auto", "on", "off"),
+        help=(
+            "compiled array-backend kernels (default: $REPRO_JIT or 'auto'; "
+            "falls back to pure numpy when numba is unavailable)"
+        ),
+    )
 
     sim = sub.add_parser("simulate", help="run one policy on one generated DFG")
     sim.add_argument("--policy", default="apt", choices=available_policies())
@@ -138,6 +151,20 @@ def _build_parser() -> argparse.ArgumentParser:
             "engine hot-path implementation (default: $REPRO_BACKEND or "
             "'object'); results are bit-identical either way"
         ),
+    )
+    sim.add_argument(
+        "--jit",
+        default=None,
+        choices=("auto", "on", "off"),
+        help=(
+            "compiled array-backend kernels (default: $REPRO_JIT or 'auto'; "
+            "falls back to pure numpy when numba is unavailable)"
+        ),
+    )
+    sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="print engine phase counters (epochs, batch selects, phase ms)",
     )
 
     cmp_ = sub.add_parser(
@@ -310,7 +337,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else get_policy(args.policy)
     )
     system = CPU_GPU_FPGA(transfer_rate_gbps=args.rate)
-    sim = Simulator(system, paper_lookup_table(), backend=args.backend)
+    sim = Simulator(
+        system,
+        paper_lookup_table(),
+        backend=args.backend,
+        jit=args.jit,
+        profile=args.profile,
+    )
     result = sim.run(dfg, policy)
     m = result.metrics
     print(f"workload : {dfg.name} ({len(dfg)} kernels, {dfg.n_edges} edges)")
@@ -330,6 +363,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     if m.n_alternative_assignments:
         print(f"alternative assignments: {m.n_alternative_assignments}")
+    if args.profile:
+        status = jit_status(args.jit)
+        print(
+            f"jit      : requested={status['requested']} "
+            f"numba={status['numba_available']} active={status['active']}"
+        )
+        if sim.last_profile:
+            for key in sorted(sim.last_profile):
+                print(f"  {key} = {sim.last_profile[key]}")
+        else:
+            print("  (no engine counters: object backend has no profiler)")
     if args.gantt:
         print()
         print(ascii_gantt(result.schedule, system))
@@ -670,6 +714,8 @@ def main(argv: list[str] | None = None) -> int:
     # (worker processes inherit it); the flag just sets it for this run.
     if getattr(args, "backend", None) and args.command != "simulate":
         os.environ[BACKEND_ENV_VAR] = args.backend
+    if getattr(args, "jit", None) and args.command != "simulate":
+        os.environ[JIT_ENV_VAR] = args.jit
     return _COMMANDS[args.command](args)
 
 

@@ -1,0 +1,379 @@
+"""Optional compiled kernels for the array backend (``REPRO_JIT``).
+
+The array backend's three hottest inner functions — identified by the
+phase profiler (:mod:`repro.profiling`) — live here in two twin forms:
+
+* a **pure-numpy fallback** (``<name>_py``), always available, and
+* a **jit source** (``_<name>_src``), a plain-Python loop nest written
+  in numba's compilable subset and wrapped with ``numba.njit`` when
+  numba is importable.
+
+Both twins of a kernel implement the *same* deterministic algorithm
+with IEEE-identical arithmetic (no ``fastmath``, accumulation in the
+same operand order), so schedules are bit-for-bit equal whichever twin
+runs — pinned by ``tests/test_jit_kernels.py`` (which differential-tests
+the twins directly, numba or not, since the jit source is plain Python)
+and end-to-end by the equivalence suite and the differential fuzzer.
+
+Selection: ``resolve_jit`` maps the ``REPRO_JIT`` environment variable /
+``Simulator(jit=...)`` to a boolean.  ``"1"/"on"`` *requests* jit but
+still degrades gracefully to the fallback when numba is absent (this
+container policy: never hard-fail on a missing optional dependency);
+``"0"/"off"`` forces the fallback; unset / ``"auto"`` uses numba iff
+importable.
+
+The pairwise registry :data:`KERNELS` is the contract the checks rule
+(``JitKernelPairRule``) and the fixture test enforce: every kernel name
+maps to its ``(<name>_py, _<name>_src)`` twins, and no jit source may
+exist outside the registry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+#: environment override consulted when no explicit ``jit=`` is given.
+JIT_ENV_VAR = "REPRO_JIT"
+
+_FALSEY = ("0", "off", "false", "no")
+_TRUEY = ("1", "on", "true", "yes")
+
+
+def numba_available() -> bool:
+    """Whether numba is importable (cached after the first probe)."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except Exception:
+            _NUMBA_OK = False
+    return _NUMBA_OK
+
+
+_NUMBA_OK: bool | None = None
+
+
+def resolve_jit(jit: "str | bool | None" = None) -> bool:
+    """Normalize a jit selector to the *active* state.
+
+    ``None`` consults ``REPRO_JIT``; an unset variable means ``"auto"``.
+    Requesting jit without numba falls back silently — the fallback is
+    bit-identical, so the only difference is speed.
+    """
+    if jit is None:
+        jit = os.environ.get(JIT_ENV_VAR) or "auto"
+    if isinstance(jit, bool):
+        return jit and numba_available()
+    s = str(jit).strip().lower()
+    if s in _FALSEY:
+        return False
+    if s in _TRUEY or s == "auto":
+        return numba_available()
+    raise ValueError(
+        f"unknown jit selector {jit!r} (use on/off/auto, 1/0, or a bool)"
+    )
+
+
+def jit_status(jit: "str | bool | None" = None) -> dict[str, object]:
+    """Introspection payload for ``--profile`` and the service ``/stats``."""
+    requested = os.environ.get(JIT_ENV_VAR) or "auto" if jit is None else jit
+    return {
+        "requested": requested,
+        "numba_available": numba_available(),
+        "active": resolve_jit(jit),
+    }
+
+
+# ----------------------------------------------------------------------
+# csr_propagate — batched successor ready-propagation (epoch completion)
+# ----------------------------------------------------------------------
+def csr_propagate_py(rp: np.ndarray, succs: np.ndarray) -> np.ndarray:
+    """Decrement ``rp`` at each successor; return the ids hitting zero.
+
+    ``succs`` is the epoch's successor lists concatenated in record
+    order; each occurrence is one predecessor completing.  A successor
+    reaches zero exactly at its last occurrence, so emitting on the
+    zero-crossing reproduces the object engine's per-record emission
+    order.
+    """
+    n = succs.shape[0]
+    if n < 32:
+        out = []
+        for s in succs:
+            v = rp[s] - 1
+            rp[s] = v
+            if v == 0:
+                out.append(s)
+        return np.asarray(out, dtype=succs.dtype)
+    np.subtract.at(rp, succs, 1)
+    hit = succs[rp[succs] == 0]
+    if hit.size <= 1:
+        return hit
+    # distinct zeros, ordered by their *last* occurrence (= emission order)
+    seen: set = set()
+    out = []
+    for s in hit.tolist()[::-1]:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    out.reverse()
+    return np.asarray(out, dtype=succs.dtype)
+
+
+def _csr_propagate_src(rp, succs):
+    n = succs.shape[0]
+    out = np.empty(n, dtype=succs.dtype)
+    k = 0
+    for i in range(n):
+        s = succs[i]
+        v = rp[s] - 1
+        rp[s] = v
+        if v == 0:
+            out[k] = s
+            k += 1
+    return out[:k]
+
+
+# ----------------------------------------------------------------------
+# apt_scan — APT's FCFS candidate scan (select_batch Phase B)
+# ----------------------------------------------------------------------
+def apt_scan_py(Cm: np.ndarray, bc: np.ndarray, idle_cats: np.ndarray, n_cat_slots: int):
+    """APT Phase B: FCFS scan over threshold-masked candidate costs.
+
+    ``Cm`` is the candidate × idle cost matrix with non-qualifying
+    entries at ``inf``; ``bc`` the candidates' p_min category (``-1``
+    when absent from the system, absorbed by the trailing sentinel
+    slot); ``idle_cats`` the idle processors' categories.  Returns
+    parallel sequences ``(cand_pos, idle_pos, alternative)``.
+    """
+    sel_i: list[int] = []
+    sel_j: list[int] = []
+    alts: list[bool] = []
+    n_cand = Cm.shape[0]
+    avail: dict[int, None] = dict.fromkeys(range(len(idle_cats)))
+    pos = 0
+    while pos < n_cand and avail:
+        avail_js = list(avail)
+        cat_avail = np.zeros(n_cat_slots, dtype=bool)
+        for j in avail_js:
+            cat_avail[idle_cats[j]] = True
+        sub = Cm[pos:, avail_js]
+        has = cat_avail[bc[pos:]] | (sub != np.inf).any(axis=1)
+        k = int(np.argmax(has))
+        if not has[k]:
+            break
+        i = pos + k
+        bci = bc[i]
+        p_min: int | None = None
+        for j in avail_js:
+            if idle_cats[j] == bci:
+                p_min = j
+                break
+        if p_min is not None:
+            del avail[p_min]
+            sel_i.append(i)
+            sel_j.append(p_min)
+            alts.append(False)
+        else:
+            # has[i] without a best-cat instance ⇒ some column
+            # qualifies; masked-out columns are inf and never win.
+            # Strict < keeps the first (declaration-order) minimum,
+            # exactly select()'s tie-break.
+            row = Cm[i]
+            best_alt = avail_js[0]
+            best_cost = row[best_alt]
+            for j in avail_js[1:]:
+                cost = row[j]
+                if cost < best_cost:
+                    best_alt, best_cost = j, cost
+            del avail[best_alt]
+            sel_i.append(i)
+            sel_j.append(best_alt)
+            alts.append(True)
+        pos = i + 1
+    return sel_i, sel_j, alts
+
+
+def _apt_scan_src(Cm, bc, idle_cats, n_cat_slots):
+    n_cand = Cm.shape[0]
+    n_idle = idle_cats.shape[0]
+    avail = np.ones(n_idle, dtype=np.bool_)
+    n_avail = n_idle
+    cat_count = np.zeros(n_cat_slots, dtype=np.int64)
+    for j in range(n_idle):
+        cat_count[idle_cats[j]] += 1
+    sel_i = np.empty(n_cand, dtype=np.int64)
+    sel_j = np.empty(n_cand, dtype=np.int64)
+    alts = np.empty(n_cand, dtype=np.bool_)
+    k = 0
+    pos = 0
+    inf = np.inf
+    while pos < n_cand and n_avail > 0:
+        found = -1
+        for i in range(pos, n_cand):
+            b = bc[i]
+            if b >= 0 and cat_count[b] > 0:
+                found = i
+                break
+            ok = False
+            for j in range(n_idle):
+                if avail[j] and Cm[i, j] != inf:
+                    ok = True
+                    break
+            if ok:
+                found = i
+                break
+        if found < 0:
+            break
+        i = found
+        b = bc[i]
+        p_min = -1
+        if b >= 0 and cat_count[b] > 0:
+            for j in range(n_idle):
+                if avail[j] and idle_cats[j] == b:
+                    p_min = j
+                    break
+        if p_min >= 0:
+            avail[p_min] = False
+            n_avail -= 1
+            cat_count[idle_cats[p_min]] -= 1
+            sel_i[k] = i
+            sel_j[k] = p_min
+            alts[k] = False
+        else:
+            best_alt = -1
+            best_cost = inf
+            for j in range(n_idle):
+                if avail[j]:
+                    if best_alt < 0:
+                        best_alt = j
+                        best_cost = Cm[i, j]
+                    elif Cm[i, j] < best_cost:
+                        best_alt = j
+                        best_cost = Cm[i, j]
+            avail[best_alt] = False
+            n_avail -= 1
+            cat_count[idle_cats[best_alt]] -= 1
+            sel_i[k] = i
+            sel_j[k] = best_alt
+            alts[k] = True
+        k += 1
+        pos = i + 1
+    return sel_i[:k], sel_j[:k], alts[:k]
+
+
+# ----------------------------------------------------------------------
+# fill_transfer_rows — batched inbound-transfer row materialization
+# ----------------------------------------------------------------------
+def fill_transfer_rows_py(out, rows, nbytes, srcs, offs, div, lat, mode_sum):
+    """Fill ``out[row, :]`` with inbound-transfer times for each row.
+
+    ``srcs[offs[i]:offs[i+1]]`` are row ``i``'s predecessor source
+    columns (unassigned predecessors pre-filtered by the caller);
+    ``div``/``lat`` the ``[P × P]`` rate-divisor / latency matrices
+    (``inf`` / ``0`` on the diagonal).  Terms for a predecessor resident
+    on the target column are zeroed, matching the scalar path's
+    same-device skip: ``x + 0.0 == x`` and ``max(x, 0.0) == x`` for the
+    non-negative transfer terms, so the fold is bit-identical to
+    :meth:`~repro.core.cost.CostModel.inbound_transfer`.
+    """
+    m = rows.shape[0]
+    for i in range(m):
+        lo, hi = offs[i], offs[i + 1]
+        row = rows[i]
+        if lo == hi:
+            out[row, :] = 0.0
+            continue
+        s = srcs[lo:hi]
+        M = nbytes[i] / div[s, :] + lat[s, :]
+        M[np.arange(hi - lo), s] = 0.0
+        if mode_sum:
+            # per-predecessor mode folds left-to-right; np.sum's pairwise
+            # reduction would round differently
+            acc = M[0]
+            for j in range(1, hi - lo):
+                acc = acc + M[j]
+            out[row, :] = acc
+        else:
+            out[row, :] = M.max(axis=0)
+
+
+def _fill_transfer_rows_src(out, rows, nbytes, srcs, offs, div, lat, mode_sum):
+    m = rows.shape[0]
+    n_proc = div.shape[0]
+    for i in range(m):
+        lo = offs[i]
+        hi = offs[i + 1]
+        row = rows[i]
+        if lo == hi:
+            for t in range(n_proc):
+                out[row, t] = 0.0
+        elif mode_sum:
+            for t in range(n_proc):
+                acc = 0.0
+                for j in range(lo, hi):
+                    s = srcs[j]
+                    if s != t:
+                        acc = acc + (nbytes[i] / div[s, t] + lat[s, t])
+                out[row, t] = acc
+        else:
+            for t in range(n_proc):
+                acc = 0.0
+                for j in range(lo, hi):
+                    s = srcs[j]
+                    if s != t:
+                        term = nbytes[i] / div[s, t] + lat[s, t]
+                        if term > acc:
+                            acc = term
+                out[row, t] = acc
+
+
+#: kernel name → (numpy fallback, jit source) twins.  The checks rule
+#: and ``tests/test_jit_kernels.py`` enforce this registry is complete
+#: and pairwise-consistent.
+KERNELS: dict[str, tuple[Callable, Callable]] = {
+    "csr_propagate": (csr_propagate_py, _csr_propagate_src),
+    "apt_scan": (apt_scan_py, _apt_scan_src),
+    "fill_transfer_rows": (fill_transfer_rows_py, _fill_transfer_rows_src),
+}
+
+
+class KernelSet:
+    """The resolved kernel namespace an engine binds at construction."""
+
+    __slots__ = ("jit", "csr_propagate", "apt_scan", "fill_transfer_rows")
+
+    def __init__(self, jit: bool, table: dict[str, Callable]) -> None:
+        self.jit = jit
+        for name, fn in table.items():
+            setattr(self, name, fn)
+
+
+_FALLBACK: KernelSet | None = None
+_JITTED: KernelSet | None = None
+
+
+def get_kernels(jit: bool) -> KernelSet:
+    """The kernel set for the resolved jit state (singletons, lazy)."""
+    global _FALLBACK, _JITTED
+    if not jit:
+        if _FALLBACK is None:
+            _FALLBACK = KernelSet(False, {n: fns[0] for n, fns in KERNELS.items()})
+        return _FALLBACK
+    if _JITTED is None:
+        try:
+            import numba
+
+            # no fastmath: reassociation would break bit-for-bit parity
+            _JITTED = KernelSet(
+                True,
+                {n: numba.njit(cache=False)(fns[1]) for n, fns in KERNELS.items()},
+            )
+        except Exception:  # pragma: no cover - numba present but broken
+            _JITTED = get_kernels(False)
+    return _JITTED

@@ -21,8 +21,20 @@ hot state on flat numpy struct-of-arrays records:
   view rebuilds;
 * **batched policy evaluation**: policies declaring
   :attr:`~repro.policies.base.Policy.batchable` are driven through
-  ``select_batch(BatchContext)`` — one vectorized call over the whole
-  ready set per fixpoint iteration.
+  ``select_batch(BatchContext)`` — one vectorized call per scheduling
+  instant (the ``select_batch`` contract *is* the whole fixpoint, so the
+  array loop calls it once instead of iterating to quiescence);
+* **event epochs**: all simultaneous completion records drain as one
+  batch (:meth:`ArrayEngineCore._complete_epoch`) — per-record
+  bookkeeping first, then one batched successor ready-propagation over
+  the CSR predecessor-count array ``_rp``, then per-record finish hooks
+  and backfill starts.  Equal-timestamp ordering is preserved because
+  the phases only reorder operations that cannot observe each other
+  (see docs/architecture.md for the invariant-by-invariant argument);
+* an **optional compiled kernel layer** (:mod:`repro.core._kernels`):
+  the three hottest inner functions run numba-jitted when selected via
+  ``REPRO_JIT`` / ``Simulator(jit=...)`` and numba is importable, with
+  a bit-identical pure-numpy fallback otherwise.
 
 Everything else — the dynamics layers (admission, contention, faults,
 preemption, retirement, metrics), assignment validation, start/abort
@@ -34,17 +46,20 @@ Fallback triggers (the per-kernel ``select`` path is used instead of
 ``select_batch``) — see docs/architecture.md:
 
 * the driver's :attr:`~repro.policies.base.Policy.batchable` is false
-  (plan dispatchers for HEFT/PEFT/CPOP, AG, Random, the Braun batch-mode
-  trio, seeded MET);
+  (AG, Random, the Braun batch-mode trio, seeded MET; the plan
+  dispatcher driving HEFT/PEFT/CPOP *is* batchable since PR 10);
 * the driver's class overrides ``select`` *below* the class providing
   ``select_batch`` (e.g. APT-RT and the APT ablation variants subclass
   APT) — detected structurally, so a forgotten override can never make
   the two paths diverge silently.
 
-Memory note: kernel-table rows are never reclaimed — a retired kernel's
-row simply goes stale (bounded-memory streaming keeps the *dict* tables
-bounded; the array table costs ~40 bytes per admitted kernel, i.e. ~4 MB
-per 100k kernels, which is noise next to the schedule log).
+Memory note: kernel-table rows are **recycled** — when
+:class:`~repro.core.dynamics.RetirementDynamics` retires a kernel, its
+row returns to a free list (:meth:`ArrayEngineCore.release_kernel`) and
+is reused by the next admitted kernel, so hot state stays bounded on
+open-system streams (the 1M-kernel scenario runs in a few thousand
+rows).  Only the kid-indexed ``_rp`` predecessor-count array grows with
+total admissions, at 4 bytes per kernel.
 """
 
 from __future__ import annotations
@@ -55,9 +70,11 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.core._kernels import get_kernels, resolve_jit
 from repro.core.engine import EngineCore, _ReadyQueue
 from repro.core.events import _ARRIVAL_RANK, Event, EventKind
 from repro.policies.base import ProcessorView
+from repro.profiling import record_engine_run
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.cost import CostModel
@@ -84,6 +101,41 @@ def driver_is_batchable(driver) -> bool:
     if sel_owner is None or sb_owner is None:
         return False
     return issubclass(sb_owner, sel_owner)
+
+
+class _PredCounts(dict):
+    """``remaining_preds`` whose writes mirror into the engine's dense
+    predecessor-count array ``_rp``.
+
+    On the array path ``_rp`` is the authoritative copy: the epoch
+    completion path decrements *only* the array (so dict values go
+    stale after a kernel's first predecessor completes), and every read
+    goes through :meth:`~repro.core.engine.EngineCore.pred_count`.  The
+    dict itself survives as the admission/retirement ledger — admission
+    layers write through it (mirrored here), retirement ``del``s its
+    entries (the stale ``_rp`` slot is never read again).
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "ArrayEngineCore") -> None:
+        super().__init__()
+        self._engine = engine
+
+    def __setitem__(self, kid: int, value: int) -> None:
+        dict.__setitem__(self, kid, value)
+        rp = self._engine._rp
+        if kid >= rp.shape[0]:
+            rp = self._engine._grow_rp(kid)
+        rp[kid] = value
+
+    def update(self, other=(), **kw) -> None:  # type: ignore[override]
+        # dict.update bypasses __setitem__ — route every pair through it
+        items = other.items() if hasattr(other, "items") else other
+        for k, v in items:
+            self[k] = v
+        for k, v in kw.items():
+            self[k] = v
 
 
 class ArrayReadyQueue(_ReadyQueue):
@@ -407,6 +459,17 @@ class BatchContext:
             free.setdefault(c, deque()).append(name)
         return free
 
+    @property
+    def kernels(self):
+        """The engine's resolved kernel set (jit twins or numpy fallback,
+        :mod:`repro.core._kernels`) — policies call the hot inner
+        functions through this so the jit selection is engine-wide."""
+        return self._e._kern
+
+    def is_ready(self, kid: int) -> bool:
+        """Whether ``kid`` is still in the ready set (plan dispatch)."""
+        return kid in self._e.ready
+
     # -- per-kernel helpers mirroring SchedulingContext -----------------
     def spec(self, kid: int):
         return self._e.specs[kid]
@@ -453,6 +516,7 @@ class ArrayEngineCore(EngineCore):
         driver: "DynamicPolicy",
         noise_sigma: float = 0.0,
         noise_seed: int = 0,
+        jit: "str | bool | None" = None,
     ) -> None:
         # created before super().__init__ — the base constructor calls
         # the overridden refresh_view, which records into this set
@@ -465,6 +529,8 @@ class ArrayEngineCore(EngineCore):
             noise_sigma=noise_sigma,
             noise_seed=noise_seed,
         )
+        self._jit_active = resolve_jit(jit)
+        self._kern = get_kernels(self._jit_active)
         # processor categories, in system first-appearance order (the
         # same order CostModel.best_processor resolves p_min against)
         self._ptypes = tuple(system.processor_types())
@@ -486,6 +552,23 @@ class ArrayEngineCore(EngineCore):
         self._row_of: dict[int, int] = {}
         self._kid_of_row: list[int] = []
         self._n_rows = 0
+        self._free_rows: list[int] = []  # retired rows awaiting reuse
+        self._rows_released = 0
+        # dense predecessor counts, kid-indexed (authoritative; the
+        # remaining_preds dict mirrors admission writes into it)
+        self._rp = np.zeros(cap, dtype=np.int32)
+        self.remaining_preds = _PredCounts(self)
+        # dense transfer pricing inputs for the vectorized row fill
+        # (None ⇒ per-pair scalar fallback)
+        self._transfers_enabled = bool(cost.transfers_enabled)
+        self._mats = system.transfer_matrices() if self._transfers_enabled else None
+        self._mode_sum = cost.transfer_mode == "per_predecessor"
+        # phase-profiler state: counters are always on (plain ints);
+        # wall-clock per phase only when a profiler is attached
+        self.profiler = None
+        self._n_epochs = 0
+        self._n_events = 0
+        self._n_batch_calls = 0
         # array-native replacements for the hot containers
         self.ready = ArrayReadyQueue(self._ensure_row, self._row_of)
         self.events = ArrayEventHeap()
@@ -501,20 +584,27 @@ class ArrayEngineCore(EngineCore):
     def _ensure_row(self, kid: int) -> None:
         if kid in self._row_of:
             return
-        row = self._n_rows
-        if row >= len(self._best_x):
-            cap = 2 * len(self._best_x)
-            for attr in ("_exec_ms", "_best_cat", "_best_x", "_transfer_ms"):
-                old = getattr(self, attr)
-                new = np.empty((cap,) + old.shape[1:], dtype=old.dtype)
-                new[:row] = old[:row]
-                setattr(self, attr, new)
-            filled = np.zeros(cap, dtype=bool)
-            filled[:row] = self._transfer_filled[:row]
-            self._transfer_filled = filled
-        self._n_rows = row + 1
+        if self._free_rows:
+            # recycle a retired kernel's row: every per-row field is
+            # (re)written below, and release already cleared the
+            # transfer-filled flag
+            row = self._free_rows.pop()
+            self._kid_of_row[row] = kid
+        else:
+            row = self._n_rows
+            if row >= len(self._best_x):
+                cap = 2 * len(self._best_x)
+                for attr in ("_exec_ms", "_best_cat", "_best_x", "_transfer_ms"):
+                    old = getattr(self, attr)
+                    new = np.empty((cap,) + old.shape[1:], dtype=old.dtype)
+                    new[:row] = old[:row]
+                    setattr(self, attr, new)
+                filled = np.zeros(cap, dtype=bool)
+                filled[:row] = self._transfer_filled[:row]
+                self._transfer_filled = filled
+            self._n_rows = row + 1
+            self._kid_of_row.append(kid)
         self._row_of[kid] = row
-        self._kid_of_row.append(kid)
         spec = self.specs[kid]
         cost = self.cost
         exec_row = self._exec_ms[row]
@@ -523,6 +613,32 @@ class ArrayEngineCore(EngineCore):
         best_pt, x = cost.best_processor(spec.kernel, spec.data_size)
         self._best_cat[row] = self._cat_idx.get(best_pt, -1)
         self._best_x[row] = x
+
+    def _grow_rp(self, kid: int) -> np.ndarray:
+        cap = max(2 * self._rp.shape[0], kid + 1)
+        rp = np.zeros(cap, dtype=np.int32)
+        rp[: self._rp.shape[0]] = self._rp
+        self._rp = rp
+        return rp
+
+    def pred_count(self, kid: int) -> int:
+        return int(self._rp[kid])
+
+    def release_kernel(self, kid: int) -> None:
+        """Return a retired kernel's row to the free list.
+
+        Called by :class:`~repro.core.dynamics.RetirementDynamics` once
+        nothing can query the kernel again — a retired kernel is
+        completed and long out of the ready set, so no buffered ready
+        row or pending batch can still reference the slot.
+        """
+        row = self._row_of.pop(kid, None)
+        if row is None:
+            return
+        self._kid_of_row[row] = -1
+        self._transfer_filled[row] = False
+        self._free_rows.append(row)
+        self._rows_released += 1
 
     def _fill_transfer_rows(self, rows: np.ndarray) -> None:
         """Materialize inbound-transfer rows for the given (ready) rows.
@@ -536,25 +652,73 @@ class ArrayEngineCore(EngineCore):
         todo = rows[~self._transfer_filled[rows]]
         if not todo.size:
             return
+        if not self._transfers_enabled:
+            self._transfer_ms[todo] = 0.0
+            self._transfer_filled[todo] = True
+            return
         cost = self.cost
-        graph = self.graph
-        assignment_of = self.assignment_of
-        proc_names = self.proc_names
         elem = cost.element_size
         kid_of = self._kid_of_row
-        for row in todo.tolist():
+        preds_of = self.preds_of
+        assignment_of = self.assignment_of
+        if self._mats is None:
+            # incomplete route table: per-(row, processor) scalar pricing
+            graph = self.graph
+            proc_names = self.proc_names
+            for row in todo.tolist():
+                kid = kid_of[row]
+                preds = preds_of[kid]
+                trow = self._transfer_ms[row]
+                if not preds:
+                    trow[:] = 0.0
+                else:
+                    nbytes = self.specs[kid].data_size * elem
+                    for j, name in enumerate(proc_names):
+                        trow[j] = cost.inbound_transfer(
+                            graph, kid, name, assignment_of, preds, nbytes
+                        )
+                self._transfer_filled[row] = True
+            return
+        # vectorized pricing: flatten the todo rows' predecessor source
+        # columns into one CSR batch and hand the arithmetic to the
+        # (possibly jitted) kernel — bit-identical to the scalar fold
+        proc_index = self.proc_index
+        specs = self.specs
+        srcs: list[int] = []
+        offs: list[int] = [0]
+        nb: list[float] = []
+        todo_list = todo.tolist()
+        for row in todo_list:
             kid = kid_of[row]
-            preds = self.preds_of[kid]
-            trow = self._transfer_ms[row]
-            if not preds:
-                trow[:] = 0.0
-            else:
-                nbytes = self.specs[kid].data_size * elem
-                for j, name in enumerate(proc_names):
-                    trow[j] = cost.inbound_transfer(
-                        graph, kid, name, assignment_of, preds, nbytes
-                    )
-            self._transfer_filled[row] = True
+            for p in preds_of[kid]:
+                src = assignment_of.get(p)
+                if src is not None:  # unassigned preds contribute nothing
+                    srcs.append(proc_index[src])
+            offs.append(len(srcs))
+            nb.append(float(specs[kid].data_size * elem))
+        div, lat = self._mats
+        self._kern.fill_transfer_rows(
+            self._transfer_ms,
+            np.asarray(todo_list, dtype=np.int64),
+            np.asarray(nb, dtype=np.float64),
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(offs, dtype=np.int64),
+            div,
+            lat,
+            self._mode_sum,
+        )
+        self._transfer_filled[todo] = True
+
+    def _inbound_transfer_ms(self, kid: int, name: str) -> float:
+        # A filled row is frozen-valid through the kernel's start: its
+        # predecessors cannot retire (retirement waits for *this* kernel
+        # to start) and completed kernels never move, so the row holds
+        # exactly what the scalar query would answer now.  Aborts clear
+        # the flag (see abort_running).
+        row = self._row_of.get(kid)
+        if row is not None and self._transfer_filled[row]:
+            return float(self._transfer_ms[row, self.proc_index[name]])
+        return super()._inbound_transfer_ms(kid, name)
 
     def abort_running(self, name: str) -> int | None:
         kid = super().abort_running(name)
@@ -595,34 +759,129 @@ class ArrayEngineCore(EngineCore):
         self.events.push_record(finish, EventKind.KERNEL_COMPLETE, (kid, name, token))
 
     def _fixpoint(self) -> None:
+        # The select_batch contract ("exactly the assignments the select
+        # fixpoint would have produced across all of its invocations at
+        # the current instant") sanctions a single call per instant —
+        # after applying it, a re-invocation would return [] by
+        # definition, so the object path's convergence loop is skipped.
         driver = self._batch_driver
         if driver is None:
             return super()._fixpoint()
-        select_batch = driver.select_batch
-        ready = self.ready
-        time_sensitive = self.time_sensitive
-        for _ in range(max(self.n_admitted, 1) * len(self.procs) + 2):
-            if ready:
-                sig = (self.state_version, self.now if time_sensitive else None)
-                if self._last_empty == sig:
-                    assignments = []
-                else:
-                    assignments = select_batch(BatchContext(self))
-                    if not assignments:
-                        self._last_empty = sig
-            else:
-                assignments = []
-            if not self.apply_assignments(assignments):
-                return
-        from repro.core.engine import SchedulingError  # local: avoid shadowing
+        if not self.ready:
+            return
+        sig = (self.state_version, self.now if self.time_sensitive else None)
+        if self._last_empty == sig:
+            return
+        self._n_batch_calls += 1
+        assignments = driver.select_batch(BatchContext(self))
+        if assignments:
+            self.apply_assignments(assignments)
+        else:
+            self._last_empty = sig
 
-        raise SchedulingError(  # pragma: no cover - defensive
-            f"{self.policy.name}: assignment loop did not converge at t={self.now}"
-        )
+    def _complete(self, kid: int, name: str, token: int) -> None:
+        # single-record epoch: identical operation order to the object
+        # path's _complete (mixed same-instant batches route through
+        # here record by record)
+        self._complete_epoch(((kid, name, token),))
+
+    def _complete_epoch(self, payloads) -> None:
+        """Drain an epoch of simultaneous completion records, batched.
+
+        Three phases, each in record order: (A) per-kernel finish
+        bookkeeping; (B) one CSR ready-propagation over all successors;
+        (C) finish hooks and backfill starts.  The phase split reorders
+        hooks across *records* relative to the object path, which is
+        unobservable: strictly positive execution times mean no kernel
+        in this epoch is a predecessor or successor of another, one
+        completion per processor per epoch means no record shares
+        processor state, and the standard dynamics layers' retirement
+        scans are local to the finished kernel and its predecessors —
+        the invariant-by-invariant argument lives in
+        docs/architecture.md.
+        """
+        procs = self.procs
+        live = self._live_token
+        view_dirty = self._view_dirty
+        completed = self.completed
+        defer = self._defer_entries
+        finished: list[tuple[int, str]] = []
+        for kid, name, token in payloads:
+            if live[name] != token:
+                continue  # stale: that start was aborted
+            st = procs[name]
+            if st.running != kid:  # pragma: no cover - defensive
+                from repro.core.engine import SchedulingError
+
+                raise SchedulingError(
+                    f"completion event for kernel {kid} on {name}, "
+                    f"but {st.running} is running"
+                )
+            st.running = None
+            view_dirty.add(name)
+            completed.add(kid)
+            if defer:
+                self.record_entry(self._pending_entry.pop(name))
+            finished.append((kid, name))
+        if not finished:
+            return
+        self.n_completed += len(finished)
+        self.state_version += 1
+        succs_of = self.succs_of
+        succ_all: list[int] = []
+        for kid, _ in finished:
+            succ_all += succs_of[kid]
+        if succ_all:
+            newly = self._kern.csr_propagate(
+                self._rp, np.asarray(succ_all, dtype=np.int64)
+            )
+            if len(newly):
+                not_arrived = self.not_arrived
+                ready = self.ready
+                ready_time = self.ready_time
+                ready_hooks = self._ready_hooks
+                now = self.now
+                for s in newly:
+                    succ = int(s)
+                    if succ in not_arrived:
+                        continue
+                    ready_time[succ] = now
+                    ready.add(succ)
+                    for h in ready_hooks:
+                        h(succ)
+        finish_hooks = self._finish_hooks
+        for kid, name in finished:
+            for h in finish_hooks:
+                h(kid, name)
+            # a queued kernel may start immediately on the freed processor
+            self.start_if_possible(name)
+
+    def profile_counters(self) -> dict[str, object]:
+        """Phase-profiler counters (always-on ints; wall-clock when a
+        :class:`~repro.profiling.PhaseProfiler` is attached)."""
+        out: dict[str, object] = {
+            "backend": "array",
+            "jit_active": self._jit_active,
+            "jit_runs": 1 if self._jit_active else 0,
+            "n_epochs": self._n_epochs,
+            "n_events": self._n_events,
+            "n_batch_selects": self._n_batch_calls,
+            "n_completed": self.n_completed,
+            "kernel_table_rows": self._n_rows,
+            "rows_released": self._rows_released,
+            "rows_in_use": len(self._row_of),
+        }
+        if self._n_epochs:
+            out["events_per_epoch"] = round(self._n_events / self._n_epochs, 3)
+        if self.profiler is not None:
+            out["phase_ms"] = self.profiler.snapshot()
+        return out
 
     def run_loop(self) -> None:
-        """Base loop, on event records: no Event objects on the hot path,
-        no per-clock-move view refresh (views are lazy)."""
+        """Base loop on event records, drained in epochs: all
+        simultaneous completions batch through ``_complete_epoch``, no
+        Event objects on the hot path, no per-clock-move view refresh
+        (views are lazy)."""
         for layer in self._layers:
             layer.on_run_start()
         for layer in self._layers:
@@ -635,8 +894,14 @@ class ArrayEngineCore(EngineCore):
         handlers = self._handlers
         observe_hooks = self._observe_hooks
         complete = EventKind.KERNEL_COMPLETE
+        prof = self.profiler
         while self.n_completed < self.n_admitted or self.more_arrivals:
-            self._fixpoint()
+            if prof is None:
+                self._fixpoint()
+            else:
+                t0 = prof.now()
+                self._fixpoint()
+                prof.add("fixpoint", t0, prof.now())
 
             if not events:
                 raise SchedulingError(
@@ -647,14 +912,38 @@ class ArrayEngineCore(EngineCore):
 
             batch = events.pop_simultaneous_records()
             self.now = batch[0][0]
-            for time, kind, payload in batch:
+            self._n_epochs += 1
+            self._n_events += len(batch)
+            t0 = 0.0 if prof is None else prof.now()
+            if len(batch) == 1:
+                time, kind, payload = batch[0]
                 if kind is complete:
-                    self._complete(*payload)
+                    self._complete_epoch((payload,))
                 else:
                     handlers[kind](Event(time, kind, payload))
+            else:
+                all_complete = True
+                for rec in batch:
+                    if rec[1] is not complete:
+                        all_complete = False
+                        break
+                if all_complete:
+                    self._complete_epoch([rec[2] for rec in batch])
+                else:
+                    # mixed epoch (arrivals, fault/repair, flow updates):
+                    # record-by-record, preserving the object path's
+                    # interleaving exactly
+                    for time, kind, payload in batch:
+                        if kind is complete:
+                            self._complete_epoch((payload,))
+                        else:
+                            handlers[kind](Event(time, kind, payload))
+            if prof is not None:
+                prof.add("events", t0, prof.now())
             if observe_hooks and self.ready:
                 ctx = self.make_context()
                 for h in observe_hooks:
                     h(ctx)
         for layer in self._layers:
             layer.finalize()
+        record_engine_run(self.profile_counters())

@@ -425,9 +425,7 @@ class EngineCore:
         now = self.now
         cost = self.cost
         ptype = self.system[name].ptype
-        transfer = cost.inbound_transfer(
-            self.graph, kid, name, self.assignment_of, self.preds_of[kid]  # type: ignore[arg-type]
-        )
+        transfer = self._inbound_transfer_ms(kid, name)
         exec_time = cost.exec_time(
             spec.kernel, spec.data_size, ptype
         ) * self.noise.get(kid, 1.0)
@@ -479,6 +477,19 @@ class EngineCore:
         self.events.push(
             Event(finish, EventKind.KERNEL_COMPLETE, payload=(kid, name, token))
         )
+
+    def _inbound_transfer_ms(self, kid: int, name: str) -> float:
+        # Seam: the array backend serves this from its frozen transfer rows.
+        return self.cost.inbound_transfer(
+            self.graph, kid, name, self.assignment_of, self.preds_of[kid]  # type: ignore[arg-type]
+        )
+
+    def pred_count(self, kid: int) -> int:
+        """Outstanding predecessors (array backend reads its CSR mirror)."""
+        return self.remaining_preds[kid]
+
+    def release_kernel(self, kid: int) -> None:
+        """Retirement notification — the array backend recycles the row."""
 
     def record_entry(self, entry: ScheduleEntry) -> None:
         for h in self._entry_hooks:
@@ -727,12 +738,19 @@ def resolve_backend(backend: "str | None") -> str:
     return backend
 
 
-def make_engine(backend: "str | None", *args: Any, **kwargs: Any) -> EngineCore:
-    """Construct an engine core for the resolved ``backend``."""
+def make_engine(
+    backend: "str | None", *args: Any, jit: "str | bool | None" = None, **kwargs: Any
+) -> EngineCore:
+    """Construct an engine core for the resolved ``backend``.
+
+    ``jit`` selects the compiled-kernel layer (array backend only; see
+    :mod:`repro.core._kernels`) — the object core has no jittable inner
+    loops, so the flag is dropped there.
+    """
     if resolve_backend(backend) == "array":
         from repro.core.array_state import ArrayEngineCore
 
-        return ArrayEngineCore(*args, **kwargs)
+        return ArrayEngineCore(*args, jit=jit, **kwargs)
     return EngineCore(*args, **kwargs)
 
 

@@ -301,6 +301,17 @@ class Simulator:
         variable, falling back to ``"object"``.  Both backends produce
         bit-for-bit identical results; ``"array"`` is faster on large
         streams.
+    jit:
+        Compiled-kernel selector for the array backend (see
+        :mod:`repro.core._kernels`): ``"on"``/``"off"``/``"auto"`` or a
+        bool; ``None`` (default) consults the ``REPRO_JIT`` environment
+        variable.  Requesting jit without numba installed silently uses
+        the bit-identical pure-numpy fallback.  Ignored by the object
+        backend.
+    profile:
+        Attach a :class:`~repro.profiling.PhaseProfiler` to array-backend
+        runs; per-phase wall-clock and hot-path counters land in
+        :attr:`last_profile` after each run.
     """
 
     def __init__(
@@ -316,6 +327,8 @@ class Simulator:
         dynamics: "Sequence[RuntimeDynamics | DynamicsSpec] | None" = None,
         power_model: PowerModel | None = None,
         backend: str | None = None,
+        jit: "str | bool | None" = None,
+        profile: bool = False,
     ) -> None:
         if exec_noise_sigma < 0:
             raise ValueError("exec_noise_sigma must be >= 0")
@@ -350,6 +363,14 @@ class Simulator:
         self.dynamics = tuple(dynamics or ())
         self.power_model = power_model if power_model is not None else DEFAULT_POWER_MODEL
         self.backend = resolve_backend(backend)
+        # jit selects the compiled-kernel layer (array backend only;
+        # graceful numpy fallback when numba is absent) — resolved at
+        # engine construction so the env var is read per run
+        self.jit = jit
+        self.profile = bool(profile)
+        #: phase-profiler counters of the most recent run (array backend;
+        #: ``None`` before any run or on the object backend)
+        self.last_profile: dict[str, object] | None = None
 
     # ------------------------------------------------------------------
     # engine assembly
@@ -376,7 +397,12 @@ class Simulator:
             driver,
             noise_sigma=self.exec_noise_sigma,
             noise_seed=self.noise_seed,
+            jit=self.jit,
         )
+        if self.profile and hasattr(engine, "profiler"):
+            from repro.profiling import PhaseProfiler
+
+            engine.profiler = PhaseProfiler()
         engine.add_layer(admission)
         if self._contended():
             engine.add_layer(ContentionDynamics(self.system.topology))
@@ -465,6 +491,8 @@ class Simulator:
         )
         engine.noise.update(self._noise_factors(dfg))
         engine.run_loop()
+        counters = getattr(engine, "profile_counters", None)
+        self.last_profile = counters() if counters is not None else None
 
         schedule = metrics_layer.schedule
         schedule.validate(dfg)
@@ -579,6 +607,8 @@ class Simulator:
             policy, driver, admission, metrics_layer, retirement=retirement
         )
         engine.run_loop()
+        counters = getattr(engine, "profile_counters", None)
+        self.last_profile = counters() if counters is not None else None
 
         schedule = metrics_layer.schedule
         metrics = metrics_layer.metrics()

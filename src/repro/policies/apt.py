@@ -154,61 +154,35 @@ class APT(DynamicPolicy):
         cand_idx = pre_idx[cand_rel]
         # Phase B — exact FCFS pass over the candidates.  Between two
         # assignments the available set is constant, so each candidate's
-        # outcome is a pure function of it: one vectorized scan finds the
-        # next candidate that assigns, skipping the (possibly many) whose
+        # outcome is a pure function of it: the scan finds the next
+        # candidate that assigns, skipping the (possibly many) whose
         # qualifying processors were already consumed — they would fail
         # select()'s per-kernel checks under this very avail set too.
+        # The scan itself is a _kernels twin (numpy fallback or numba),
+        # selected engine-wide via REPRO_JIT / Simulator(jit=...).
         Cm = np.where(qual, C, np.inf)[cand_rel]  # threshold-masked costs
         bc = best_cat[cand_idx]
-        idle_cats = batch.idle_cats
-        avail: dict[int, None] = dict.fromkeys(range(len(idle_names)))
+        sel_i, sel_j, alts = batch.kernels.apt_scan(
+            Cm,
+            np.asarray(bc, dtype=np.int64),
+            np.asarray(batch.idle_cats, dtype=np.int64),
+            int(cat_mask.size),
+        )
         out: list[Assignment] = []
-        pos = 0
-        n_cand = cand_idx.size
-        while pos < n_cand and avail:
-            avail_js = list(avail)
-            cat_avail = np.zeros(cat_mask.size, dtype=bool)
-            for j in avail_js:
-                cat_avail[idle_cats[j]] = True
-            sub = Cm[pos:, avail_js]
-            has = cat_avail[bc[pos:]] | (sub != np.inf).any(axis=1)
-            k = int(np.argmax(has))
-            if not has[k]:
-                break
-            i = pos + k
-            kid = ready[int(cand_idx[i])]
-            bci = bc[i]
-            p_min: int | None = None
-            for j in avail_js:
-                if idle_cats[j] == bci:
-                    p_min = j
-                    break
-            if p_min is not None:
-                del avail[p_min]
-                out.append(Assignment(kernel_id=kid, processor=idle_names[p_min]))
-            else:
-                # has[i] without a best-cat instance ⇒ some column
-                # qualifies; masked-out columns are inf and never win.
-                # Strict < keeps the first (declaration-order) minimum,
-                # exactly select()'s tie-break.
-                row = Cm[i]
-                best_alt = avail_js[0]
-                best_cost = row[best_alt]
-                for j in avail_js[1:]:
-                    cost = row[j]
-                    if cost < best_cost:
-                        best_alt, best_cost = j, cost
-                del avail[best_alt]
+        for i, j, alt in zip(sel_i, sel_j, alts):
+            kid = ready[int(cand_idx[int(i)])]
+            if alt:
                 kernel_name = batch.spec(kid).kernel
                 self._alt_by_kernel[kernel_name] = (
                     self._alt_by_kernel.get(kernel_name, 0) + 1
                 )
                 out.append(
                     Assignment(
-                        kernel_id=kid, processor=idle_names[best_alt], alternative=True
+                        kernel_id=kid, processor=idle_names[int(j)], alternative=True
                     )
                 )
-            pos = i + 1
+            else:
+                out.append(Assignment(kernel_id=kid, processor=idle_names[int(j)]))
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

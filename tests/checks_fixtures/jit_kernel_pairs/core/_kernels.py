@@ -1,0 +1,24 @@
+"""Seeded violations for the jit-kernel-pairs rule (see test_checks)."""
+
+
+def good_py(x):
+    return x
+
+
+def _good_src(x):
+    return x
+
+
+def bad_names_py(x):
+    return x
+
+
+def _orphan_src(x):
+    return x
+
+
+KERNELS = {
+    "good": (good_py, _good_src),
+    "bad_names": (bad_names_py, _orphan_src),
+    "missing": (missing_py, _missing_src),  # noqa: F821 - AST-only fixture
+}

@@ -99,10 +99,11 @@ def build_dynamics(combo: str, seed: int):
 
 
 def run_one(backend: str | None, sim_cls, system, dfg, policy_name, *,
-            noise: bool, dynamics, arrivals):
+            noise: bool, dynamics, arrivals, jit=None):
     kwargs = {}
     if backend is not None:
         kwargs["backend"] = backend
+        kwargs["jit"] = jit
     sim = sim_cls(
         system,
         LOOKUP,
@@ -139,11 +140,12 @@ class TestBackendFuzz:
         dynamics_seed=st.integers(min_value=0, max_value=7),
         arrival_seed=st.integers(min_value=0, max_value=2**16),
         staggered=st.booleans(),
+        jit=st.sampled_from([None, "off", "on"]),
     )
     def test_object_array_reference_agree(
         self, shape, n, graph_seed, n_cpu, n_gpu, n_fpga, topology,
         policy_name, noise, dynamics_combo, dynamics_seed, arrival_seed,
-        staggered,
+        staggered, jit,
     ):
         dfg = build_dfg(shape, n, graph_seed)
         system = build_system(n_cpu, n_gpu, n_fpga, topology)
@@ -156,8 +158,13 @@ class TestBackendFuzz:
             }
         obj = run_one("object", Simulator, system, dfg, policy_name,
                       noise=noise, dynamics=dynamics, arrivals=arrivals)
+        # jit axis: "on" compiles the _kernels twins where numba exists
+        # and falls back bit-identically where it doesn't, so the same
+        # examples pin jit parity on the CI numba leg and fallback
+        # parity everywhere else.
         arr = run_one("array", Simulator, system, dfg, policy_name,
-                      noise=noise, dynamics=dynamics, arrivals=arrivals)
+                      noise=noise, dynamics=dynamics, arrivals=arrivals,
+                      jit=jit)
         assert_same_run(obj, arr, "object vs array")
         # the pre-refactor oracle predates dynamics and contention
         if not dynamics and topology != "star_contended":
@@ -176,10 +183,11 @@ class TestBackendFuzz:
         arrival_seed=st.integers(min_value=0, max_value=2**16),
         policy_name=st.sampled_from(sorted(available_policies())),
         dynamics_combo=st.sampled_from(sorted(DYNAMICS_COMBOS)),
+        jit=st.sampled_from([None, "off", "on"]),
     )
     def test_streaming_backends_agree(
         self, n_apps, shapes, graph_seed, arrival_seed, policy_name,
-        dynamics_combo,
+        dynamics_combo, jit,
     ):
         """run_stream (admission + retirement) must also match across
         backends — including service metrics — on random app streams."""
@@ -198,6 +206,7 @@ class TestBackendFuzz:
                 LOOKUP,
                 dynamics=list(dynamics) or None,
                 backend=backend,
+                jit=jit if backend == "array" else None,
             )
             return sim.run_stream(
                 ApplicationStream(list(apps)), get_policy(policy_name)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core._kernels import numba_available
 from repro.core.reference import ReferenceSimulator
 from repro.core.simulator import Simulator
 from repro.core.system import CPU_GPU_FPGA, Processor, SystemConfig
@@ -83,6 +84,19 @@ def assert_identical_runs(sim_kwargs, dfg, policy_name, arrivals=None):
     )
     assert arr.metrics == fast.metrics
     assert arr.policy_stats == fast.policy_stats
+    # fourth axis, CI's numba leg only: the compiled _kernels twins must
+    # land on the same bits.  Without numba, jit="on" resolves to the
+    # very fallback just asserted above — skip the redundant run.
+    if numba_available():
+        jit = Simulator(system, lookup, backend="array", jit="on",
+                        **sim_kwargs).run(
+            dfg, get_policy(policy_name), arrivals=arrivals
+        )
+        assert list(jit.schedule) == list(fast.schedule), (
+            f"jit-kernel divergence: {policy_name} on {dfg.name}"
+        )
+        assert jit.metrics == fast.metrics
+        assert jit.policy_stats == fast.policy_stats
 
 
 class TestFullPaperSuite:
@@ -479,12 +493,17 @@ class TestArrayBackendAnchors:
     the published Figure 5 end times and the contended-topology event
     path must hold on the struct-of-arrays engine too."""
 
-    def test_figure5_end_times_on_array_backend(self):
+    @pytest.mark.parametrize("jit", [None, "off", "on"])
+    def test_figure5_end_times_on_array_backend(self, jit):
+        # the published anchors must hold on every jit resolution — the
+        # "on" leg runs the compiled twins where numba exists and the
+        # bit-identical fallback elsewhere.
         sim = Simulator(
             CPU_GPU_FPGA(),
             figure5_lookup_table(),
             transfers_enabled=False,
             backend="array",
+            jit=jit,
         )
         dfg = DFG.from_kernels(FIGURE5_KERNELS, name="figure5")
         assert sim.run(dfg, MET()).makespan == pytest.approx(318.093, abs=1e-3)

@@ -18,6 +18,8 @@ from repro.experiments.workloads import (
     mixed_application_factory,
     open_system_source,
     scale_system,
+    streaming_scale_source,
+    streaming_scale_stream,
 )
 from repro.graphs.sources import EagerSource, GeneratorSource, PoissonProfile
 from repro.graphs.streams import ApplicationArrival, ApplicationStream
@@ -175,6 +177,65 @@ class TestBoundedMemory:
             out = sim.run_stream(src, get_policy("met"), retain_schedule=False)
             peaks.append(out.stream.peak_resident_kernels)
         assert peaks[1] <= peaks[0] * 1.5
+
+    def test_200k_stream_recycles_kernel_table_rows(self, lookup):
+        """Array-backend bounded memory: a 200k-kernel retired stream
+        must reuse kernel-table rows via the free list — the table's
+        high-water mark stays at the resident window (hundreds of
+        rows), not the stream length."""
+        source = streaming_scale_source(200_000, seed=7)
+        sim = Simulator(scale_system(), lookup, backend="array")
+        out = sim.run_stream(source, get_policy("met"), retain_schedule=False)
+        stats = out.stream
+        assert stats.n_kernels >= 200_000
+        assert stats.retired_kernels == stats.n_kernels
+        prof = sim.last_profile
+        assert prof is not None
+        # every completed kernel's row went back to the free list...
+        assert prof["rows_released"] == prof["n_completed"] == stats.n_kernels
+        assert prof["rows_in_use"] == 0
+        # ...and the table's high-water mark tracks the resident window
+        # (hundreds of rows), two-plus orders below the stream length
+        assert prof["kernel_table_rows"] <= stats.peak_resident_kernels
+        assert stats.peak_resident_kernels <= stats.n_kernels // 50
+
+
+class TestScaleStreamSource:
+    def test_lazy_source_matches_eager_stream(self):
+        """streaming_scale_source replays streaming_scale_stream's RNG
+        consumption exactly — eager and lazy forms are bit-identical."""
+        eager = streaming_scale_stream(3000, seed=5, mean_interarrival_ms=400.0)
+        source = streaming_scale_source(3000, seed=5, mean_interarrival_ms=400.0)
+        lazy = source.materialize()
+        assert len(lazy) == len(eager) == len(source)
+        assert source.total_kernels == eager.n_kernels
+        for a, b in zip(eager, lazy):
+            assert a.arrival_ms == b.arrival_ms
+            assert a.dfg.name == b.dfg.name
+            specs_a = [a.dfg.spec(k) for k in a.dfg.kernel_ids()]
+            specs_b = [b.dfg.spec(k) for k in b.dfg.kernel_ids()]
+            assert [
+                (s.kernel, s.data_size) for s in specs_a
+            ] == [(s.kernel, s.data_size) for s in specs_b]
+            assert a.dfg.edges() == b.dfg.edges()
+
+    def test_source_validates_parameters(self):
+        with pytest.raises(ValueError):
+            streaming_scale_source(4)
+        with pytest.raises(ValueError):
+            streaming_scale_source(100, mean_interarrival_ms=0.0)
+
+    def test_registry_names_resolve(self):
+        from repro.experiments.workloads import (
+            STREAM_SCENARIOS,
+            stream_scenario_source,
+        )
+
+        for name in STREAM_SCENARIOS:
+            src = stream_scenario_source(name)
+            assert src.total_kernels >= STREAM_SCENARIOS[name]["n_kernels"]
+        with pytest.raises(ValueError, match="unknown stream scenario"):
+            stream_scenario_source("nope")
 
 
 class TestStreamEdgeCases:

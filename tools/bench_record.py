@@ -6,19 +6,29 @@ array-backend hot path: every entry pins the git revision it was
 measured at, the scenario, the wall-clock of both backends and the
 speedup.  The trajectory documents how the hot path evolved; CI's smoke
 benchmark (``benchmarks/test_bench_simulator_scale.py``) reads the last
-entry for its scenario and fails when the measured speedup regresses
-more than 20 % below it.
+comparable entry for its scenario and fails when the measured speedup
+regresses more than 20 % below it.
 
 Usage::
 
     python tools/bench_record.py                  # smoke scenario (1.2k)
     python tools/bench_record.py --kernels 100000 # the acceptance entry
     python tools/bench_record.py --dry-run        # measure, don't append
+    python tools/bench_record.py --scenario streaming_scale_1m \\
+        --no-baseline                             # lazy 1M stream, array only
 
-Wall-clock numbers are machine-dependent; the *speedup* column is the
-portable quantity — both backends run the identical simulation on the
-identical machine, so their ratio tracks algorithmic regressions, not
-hardware.
+A revision is stamped ``<short-rev>+dirty`` when the worktree has
+uncommitted changes, so an entry recorded *before* its commit is
+identifiable as such (the first three trajectory entries predate this
+and carry the seed revision).
+
+``--no-baseline`` skips the object-backend run — at 100k kernels the
+object baseline takes hours, so big entries record the array wall-clock
+(plus its profile counters) and leave the speedup to the smoke-scale
+trajectory.  Wall-clock numbers are machine-dependent; the *speedup*
+column is the portable quantity — both backends run the identical
+simulation on the identical machine, so their ratio tracks algorithmic
+regressions, not hardware.
 """
 
 from __future__ import annotations
@@ -44,45 +54,92 @@ BENCH_FILE = _ROOT / "BENCH_engine.json"
 #: grows into the regime the array backend is built for.
 SCENARIO_DEFAULTS = {"mean_interarrival_ms": 300.0, "seed": 42, "policy": "apt"}
 
+#: profile counters worth committing alongside big entries — the
+#: bounded-memory evidence (rows recycled vs table high-water mark).
+_PROFILE_KEYS = (
+    "n_epochs",
+    "events_per_epoch",
+    "kernel_table_rows",
+    "rows_released",
+)
+
 
 def git_rev() -> str:
     try:
-        return subprocess.run(
+        rev = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             cwd=_ROOT,
             capture_output=True,
             text=True,
             check=True,
         ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{rev}+dirty" if dirty else rev
     except (subprocess.CalledProcessError, OSError):
         return "unknown"
 
 
-def run_backend(backend: str, n_kernels: int, repeats: int) -> float:
+def run_backend(
+    backend: str,
+    n_kernels: int,
+    repeats: int,
+    jit: "str | bool | None" = None,
+    mean_interarrival_ms: float | None = None,
+) -> float:
     """Best-of-``repeats`` wall-clock (ms) of the scenario on ``backend``."""
+    best, _ = run_backend_profiled(
+        backend, n_kernels, repeats, jit=jit,
+        mean_interarrival_ms=mean_interarrival_ms,
+    )
+    return best
+
+
+def run_backend_profiled(
+    backend: str,
+    n_kernels: int,
+    repeats: int,
+    jit: "str | bool | None" = None,
+    mean_interarrival_ms: float | None = None,
+) -> "tuple[float, dict | None]":
+    """Like :func:`run_backend`, also returning the engine's profile
+    counters (``None`` on the object backend, which has no profiler)."""
     from repro.core.simulator import Simulator
     from repro.data.paper_tables import paper_lookup_table
-    from repro.experiments.workloads import scale_system, streaming_scale_stream
+    from repro.experiments.workloads import scale_system, streaming_scale_source
     from repro.policies.registry import get_policy
 
     system = scale_system()
     lookup = paper_lookup_table()
+    if mean_interarrival_ms is None:
+        mean_interarrival_ms = SCENARIO_DEFAULTS["mean_interarrival_ms"]
+    # the lazy source replays streaming_scale_stream bit-for-bit but
+    # never holds the whole stream — a 1M-kernel run stays bounded.
+    source = streaming_scale_source(
+        n_kernels=n_kernels,
+        seed=SCENARIO_DEFAULTS["seed"],
+        mean_interarrival_ms=mean_interarrival_ms,
+    )
     best = float("inf")
+    profile: "dict | None" = None
     for _ in range(repeats):
-        stream = streaming_scale_stream(
-            n_kernels=n_kernels,
-            seed=SCENARIO_DEFAULTS["seed"],
-            mean_interarrival_ms=SCENARIO_DEFAULTS["mean_interarrival_ms"],
-        )
-        sim = Simulator(system, lookup, backend=backend)
+        sim = Simulator(system, lookup, backend=backend, jit=jit)
         t0 = time.perf_counter()
         sim.run_stream(
-            stream,
+            source,
             get_policy(SCENARIO_DEFAULTS["policy"]),
             retain_schedule=False,
         )
-        best = min(best, (time.perf_counter() - t0) * 1000.0)
-    return best
+        wall = (time.perf_counter() - t0) * 1000.0
+        if wall < best:
+            best = wall
+            profile = sim.last_profile
+    return best, profile
 
 
 def load_entries() -> list[dict]:
@@ -91,9 +148,21 @@ def load_entries() -> list[dict]:
     return json.loads(BENCH_FILE.read_text(encoding="utf-8"))["entries"]
 
 
-def last_entry_for(scenario: str) -> dict | None:
-    """The most recent committed entry for ``scenario`` (or ``None``)."""
-    matching = [e for e in load_entries() if e["scenario"] == scenario]
+def last_entry_for(scenario: str, jit: "bool | None" = None) -> dict | None:
+    """The most recent *comparable* committed entry for ``scenario``.
+
+    Comparable means it carries a measured ``speedup_vs_object``
+    (``--no-baseline`` entries document wall-clock only) and, when
+    ``jit`` is given, was measured with the same jit state (entries
+    predating the jit field count as jit-off).
+    """
+    matching = [
+        e
+        for e in load_entries()
+        if e["scenario"] == scenario
+        and "speedup_vs_object" in e
+        and (jit is None or bool(e.get("jit", False)) == jit)
+    ]
     return matching[-1] if matching else None
 
 
@@ -106,31 +175,74 @@ def append_entry(entry: dict) -> None:
     )
 
 
-def scenario_name(n_kernels: int) -> str:
-    return f"streaming_scale/apt/ia300/n{n_kernels}"
+def scenario_name(
+    n_kernels: int, mean_interarrival_ms: float | None = None
+) -> str:
+    ia = mean_interarrival_ms or SCENARIO_DEFAULTS["mean_interarrival_ms"]
+    return f"streaming_scale/apt/ia{int(ia)}/n{n_kernels}"
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.core._kernels import resolve_jit
+    from repro.experiments.workloads import STREAM_SCENARIOS
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernels", type=int, default=1_200)
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(STREAM_SCENARIOS),
+        default=None,
+        help="a registered stream scenario (overrides --kernels)",
+    )
     parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--jit",
+        default=None,
+        choices=("auto", "on", "off"),
+        help="array-backend jit kernels (default: $REPRO_JIT or 'auto')",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the object-backend run (big scenarios; no speedup column)",
+    )
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, don't append"
     )
     args = parser.parse_args(argv)
 
-    name = scenario_name(args.kernels)
-    wall_array = run_backend("array", args.kernels, args.repeats)
-    wall_object = run_backend("object", args.kernels, args.repeats)
+    n_kernels = args.kernels
+    interarrival: float | None = None
+    if args.scenario is not None:
+        params = STREAM_SCENARIOS[args.scenario]
+        n_kernels = int(params["n_kernels"])
+        interarrival = float(params["mean_interarrival_ms"])
+    name = scenario_name(n_kernels, interarrival)
+    jit_active = resolve_jit(args.jit)
+    wall_array, profile = run_backend_profiled(
+        "array", n_kernels, args.repeats, jit=args.jit,
+        mean_interarrival_ms=interarrival,
+    )
     entry = {
         "git_rev": git_rev(),
         "date": date.today().isoformat(),
         "scenario": name,
-        "kernels": args.kernels,
+        "kernels": n_kernels,
+        "jit": jit_active,
         "backend_wall_ms": round(wall_array, 1),
-        "baseline_wall_ms": round(wall_object, 1),
-        "speedup_vs_object": round(wall_object / wall_array, 2),
     }
+    if args.no_baseline:
+        entry["baseline"] = "none"
+    else:
+        wall_object = run_backend(
+            "object", n_kernels, args.repeats, mean_interarrival_ms=interarrival
+        )
+        entry["baseline_wall_ms"] = round(wall_object, 1)
+        entry["speedup_vs_object"] = round(wall_object / wall_array, 2)
+    if profile:
+        entry["profile"] = {
+            k: profile[k] for k in _PROFILE_KEYS if k in profile
+        }
     print(json.dumps(entry, indent=2))
     if not args.dry_run:
         append_entry(entry)
