@@ -73,13 +73,19 @@ def git_rev() -> str:
             text=True,
             check=True,
         ).stdout.strip()
-        dirty = subprocess.run(
+        porcelain = subprocess.run(
             ["git", "status", "--porcelain"],
             cwd=_ROOT,
             capture_output=True,
             text=True,
             check=True,
-        ).stdout.strip()
+        ).stdout.splitlines()
+        # the trajectory file itself doesn't count: appending entry N
+        # must not stamp entry N+1 of the same batch as dirty
+        dirty = [
+            line for line in porcelain
+            if line[3:].strip() != BENCH_FILE.name
+        ]
         return f"{rev}+dirty" if dirty else rev
     except (subprocess.CalledProcessError, OSError):
         return "unknown"
